@@ -1,0 +1,481 @@
+(* tmlive: command-line front end to the TM-liveness library.
+
+   Subcommands:
+     zoo      - list the TM implementations
+     figures  - print and machine-check every figure of the paper
+     simulate - run a TM under a schedule (optionally with faults) and
+                check safety of the produced history
+     game     - run the Theorem-1 adversary against a TM
+     matrix   - the Section-3.2.3 solo-progress matrix *)
+
+open Cmdliner
+
+let tm_conv =
+  let parse s =
+    match Tm_impl.Registry.find s with
+    | Some e -> Ok e
+    | None ->
+        Error
+          (`Msg
+            (Fmt.str "unknown TM %S (try: %s)" s
+               (String.concat ", " Tm_impl.Registry.names)))
+  in
+  let print ppf e = Fmt.string ppf e.Tm_impl.Registry.entry_name in
+  Arg.conv (parse, print)
+
+let sched_conv =
+  let parse = function
+    | "rr" | "round-robin" -> Ok Tm_sim.Runner.Round_robin
+    | "uniform" | "random" -> Ok Tm_sim.Runner.Uniform
+    | s -> (
+        match int_of_string_opt s with
+        | Some q when q > 0 -> Ok (Tm_sim.Runner.Quantum q)
+        | Some _ | None ->
+            Error (`Msg "scheduler: rr | uniform | <quantum size>"))
+  in
+  let print ppf = function
+    | Tm_sim.Runner.Round_robin -> Fmt.string ppf "rr"
+    | Tm_sim.Runner.Uniform -> Fmt.string ppf "uniform"
+    | Tm_sim.Runner.Quantum q -> Fmt.pf ppf "%d" q
+  in
+  Arg.conv (parse, print)
+
+(* ------------------------------------------------------------------ *)
+
+let zoo_cmd =
+  let run contracts =
+    if contracts then
+      List.iter (Fmt.pr "%a@." Tm_impl.Contract.pp) Tm_impl.Contract.all
+    else
+      List.iter
+        (fun e ->
+          Fmt.pr "%-18s %s%s@." e.Tm_impl.Registry.entry_name
+            e.Tm_impl.Registry.entry_describe
+            (if e.Tm_impl.Registry.responsive then "" else " [blocking]"))
+        Tm_impl.Registry.all
+  in
+  let contracts =
+    Arg.(
+      value & flag
+      & info [ "contracts" ]
+          ~doc:"Show the measured progress contracts instead.")
+  in
+  Cmd.v (Cmd.info "zoo" ~doc:"List the TM implementations in the zoo.")
+    Term.(const run $ contracts)
+
+let figures_cmd =
+  let run () =
+    List.iter
+      (fun (name, h) ->
+        Fmt.pr "--- %s ---@.%aopaque: %b, strictly serializable: %b@.@." name
+          Tm_history.Pretty.pp_by_process h
+          (Tm_safety.Opacity.is_opaque h)
+          (Tm_safety.Serializability.is_strictly_serializable h))
+      Tm_history.Figures.all_finite;
+    List.iter
+      (fun (name, l) ->
+        Fmt.pr "--- %s (infinite) ---@.%a@.%a@.%a@.@." name
+          Tm_history.Pretty.pp_lasso l Tm_liveness.Process_class.pp_table
+          (Tm_liveness.Process_class.classify l)
+          Tm_liveness.Property.pp_verdict
+          (Tm_liveness.Property.verdict l))
+      Tm_history.Figures.all_lassos
+  in
+  Cmd.v
+    (Cmd.info "figures"
+       ~doc:"Print and machine-check every figure of the paper.")
+    Term.(const run $ const ())
+
+let tm_arg =
+  Arg.(
+    required
+    & pos 0 (some tm_conv) None
+    & info [] ~docv:"TM" ~doc:"TM implementation (see $(b,zoo)).")
+
+let simulate_cmd =
+  let run entry nprocs ntvars steps seed sched crash parasitic =
+    let fates =
+      (match crash with
+      | Some p -> [ (p, Tm_sim.Runner.Crash_after_write 1) ]
+      | None -> [])
+      @
+      match parasitic with
+      | Some p -> [ (p, Tm_sim.Runner.Parasitic_from (steps / 10)) ]
+      | None -> []
+    in
+    let spec =
+      Tm_sim.Runner.spec ~nprocs ~ntvars ~steps ~seed ~sched ~fates ()
+    in
+    let o = Tm_sim.Runner.run entry spec in
+    Fmt.pr "%a@.@." Tm_sim.Runner.pp_summary o;
+    let h = o.Tm_sim.Runner.history in
+    Fmt.pr "history length: %d events@." (Tm_history.History.length h);
+    Fmt.pr "well-formed: %b@." (Tm_history.History.is_well_formed h);
+    if Tm_history.History.length h <= 600 then begin
+      Fmt.pr "opaque: %b@." (Tm_safety.Opacity.is_opaque h);
+      Fmt.pr "strictly serializable: %b@."
+        (Tm_safety.Serializability.is_strictly_serializable h)
+    end
+    else
+      Fmt.pr "(history too long for the safety checkers; rerun with fewer \
+              steps)@.";
+    match Tm_sim.Runner.blocked_procs o with
+    | [] -> ()
+    | ps ->
+        Fmt.pr "blocked processes: %a@." Fmt.(list ~sep:(any ", ") int) ps
+  in
+  let nprocs =
+    Arg.(value & opt int 3 & info [ "p"; "procs" ] ~doc:"Number of processes.")
+  in
+  let ntvars =
+    Arg.(value & opt int 4 & info [ "t"; "tvars" ] ~doc:"Number of t-variables.")
+  in
+  let steps =
+    Arg.(value & opt int 400 & info [ "n"; "steps" ] ~doc:"Simulation steps.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let sched =
+    Arg.(
+      value
+      & opt sched_conv Tm_sim.Runner.Uniform
+      & info [ "sched" ] ~doc:"Scheduler: rr, uniform, or a quantum size.")
+  in
+  let crash =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash" ] ~doc:"Crash this process after its first write.")
+  in
+  let parasitic =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "parasitic" ] ~doc:"Turn this process parasitic.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:
+         "Run a TM under a schedule, print statistics, and machine-check \
+          the history.")
+    Term.(
+      const run $ tm_arg $ nprocs $ ntvars $ steps $ seed $ sched $ crash
+      $ parasitic)
+
+let game_cmd =
+  let run entry alg rounds =
+    let alg =
+      if alg = 2 then Tm_adversary.Adversary.Algorithm_2
+      else Tm_adversary.Adversary.Algorithm_1
+    in
+    let r = Tm_adversary.Adversary.run ~rounds entry alg in
+    Fmt.pr "rounds completed: %d@." r.Tm_adversary.Adversary.rounds_completed;
+    Fmt.pr "p1 commits: %d, aborts: %d@."
+      r.Tm_adversary.Adversary.victim_commits
+      r.Tm_adversary.Adversary.victim_aborts;
+    Fmt.pr "p2 commits: %d@." r.Tm_adversary.Adversary.winner_commits;
+    if r.Tm_adversary.Adversary.blocked then
+      Fmt.pr "verdict: TM blocked (escapes by withholding responses)@."
+    else if r.Tm_adversary.Adversary.terminated then
+      Fmt.pr
+        "verdict: p1 committed! the history must be non-opaque: opaque=%b@."
+        (Tm_safety.Opacity.is_opaque r.Tm_adversary.Adversary.history)
+    else Fmt.pr "verdict: p1 starves - local progress violated@."
+  in
+  let alg =
+    Arg.(
+      value & opt int 1
+      & info [ "a"; "algorithm" ] ~doc:"Adversary algorithm (1 or 2).")
+  in
+  let rounds =
+    Arg.(value & opt int 30 & info [ "r"; "rounds" ] ~doc:"Rounds to play.")
+  in
+  Cmd.v
+    (Cmd.info "game" ~doc:"Run the Theorem-1 adversary against a TM.")
+    Term.(const run $ tm_arg $ alg $ rounds)
+
+let matrix_cmd =
+  let run () =
+    let solo ?(sched = Tm_sim.Runner.Round_robin) entry fate =
+      let spec =
+        Tm_sim.Runner.spec ~nprocs:2 ~ntvars:1 ~steps:4000 ~seed:1 ~sched
+          ~fates:[ (1, fate) ]
+          ()
+      in
+      (Tm_sim.Runner.run entry spec).Tm_sim.Runner.commits.(2) >= 10
+    in
+    let mark b = if b then "yes" else "NO " in
+    Fmt.pr "%-18s %-8s %-8s %-11s %-8s@." "TM" "healthy" "crash" "mid-commit"
+      "parasite";
+    List.iter
+      (fun entry ->
+        let depth =
+          match entry.Tm_impl.Registry.entry_name with
+          | "tl2" | "ostm" | "norec" -> 2
+          | _ -> 0
+        in
+        Fmt.pr "%-18s %-8s %-8s %-11s %-8s@." entry.Tm_impl.Registry.entry_name
+          (mark (solo ~sched:Tm_sim.Runner.Uniform entry Tm_sim.Runner.Healthy))
+          (mark (solo entry (Tm_sim.Runner.Crash_after_write 1)))
+          (mark (solo entry (Tm_sim.Runner.Crash_mid_commit depth)))
+          (mark (solo entry (Tm_sim.Runner.Parasitic_from 10))))
+      Tm_impl.Registry.all
+  in
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:"The Section-3.2.3 solo-progress matrix, measured.")
+    Term.(const run $ const ())
+
+let monitor_cmd =
+  let run entry nprocs ntvars steps seed =
+    let spec =
+      Tm_sim.Runner.spec ~nprocs ~ntvars ~steps ~seed
+        ~sched:Tm_sim.Runner.Uniform ()
+    in
+    let o = Tm_sim.Runner.run entry spec in
+    Fmt.pr "history: %d events@."
+      (Tm_history.History.length o.Tm_sim.Runner.history);
+    match Tm_safety.Monitor.run o.Tm_sim.Runner.history with
+    | Tm_safety.Monitor.Accepted ->
+        Fmt.pr "monitor: ACCEPTED (a serialization witness exists: opaque)@."
+    | Tm_safety.Monitor.No_witness m ->
+        Fmt.pr "monitor: no commit-order witness (%s)@." m
+  in
+  let nprocs =
+    Arg.(value & opt int 4 & info [ "p"; "procs" ] ~doc:"Number of processes.")
+  in
+  let ntvars =
+    Arg.(value & opt int 4 & info [ "t"; "tvars" ] ~doc:"Number of t-variables.")
+  in
+  let steps =
+    Arg.(
+      value & opt int 50_000 & info [ "n"; "steps" ] ~doc:"Simulation steps.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"PRNG seed.") in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Run a long simulation and verify it with the linear-time opacity \
+          monitor.")
+    Term.(const run $ tm_arg $ nprocs $ ntvars $ steps $ seed)
+
+let sweep_cmd =
+  let run entry depth =
+    let checked = ref 0 and bad = ref 0 and fallback = ref 0 in
+    Tm_sim.Sweep.run entry ~nprocs:2 ~ntvars:1
+      ~invocations:
+        [
+          Tm_history.Event.Read 0;
+          Tm_history.Event.Write (0, 1);
+          Tm_history.Event.Try_commit;
+        ]
+      ~depth
+      ~on_history:(fun h _ ->
+        incr checked;
+        match Tm_safety.Monitor.run h with
+        | Tm_safety.Monitor.Accepted -> ()
+        | Tm_safety.Monitor.No_witness _ ->
+            incr fallback;
+            if not (Tm_safety.Opacity.is_opaque h) then begin
+              incr bad;
+              Fmt.pr "NON-OPAQUE:@.%a@." Tm_history.Pretty.pp_by_process h
+            end);
+    Fmt.pr
+      "checked %d histories (depth %d, 2 processes, 1 binary t-variable)@."
+      !checked depth;
+    Fmt.pr "monitor fallbacks to exact checker: %d@." !fallback;
+    Fmt.pr "non-opaque histories: %d@." !bad
+  in
+  let depth =
+    Arg.(value & opt int 8 & info [ "d"; "depth" ] ~doc:"Schedule depth.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Exhaustively model-check every schedule of a bounded depth for \
+          opacity.")
+    Term.(const run $ tm_arg $ depth)
+
+type explore_action = E_invoke of Tm_history.Event.invocation | E_poll
+
+let explore_cmd =
+  let run dot =
+    let cfg = Tm_impl.Tm_intf.config ~nprocs:1 ~ntvars:1 () in
+    let exploration =
+      Tm_automaton.Explorer.reachable
+        ~make:(fun () -> Tm_impl.Fgp.create cfg)
+        ~snapshot:Tm_impl.Fgp.state
+        ~actions:(fun t ->
+          match Tm_impl.Fgp.pending t 1 with
+          | Some _ -> [ E_poll ]
+          | None ->
+              [
+                E_invoke (Tm_history.Event.Read 0);
+                E_invoke (Tm_history.Event.Write (0, 0));
+                E_invoke (Tm_history.Event.Write (0, 1));
+                E_invoke Tm_history.Event.Try_commit;
+              ])
+        ~apply:(fun t a ->
+          match a with
+          | E_invoke inv -> Tm_impl.Fgp.invoke t 1 inv
+          | E_poll -> ignore (Tm_impl.Fgp.poll t 1))
+        ()
+    in
+    if dot then
+      print_string
+        (Tm_automaton.Explorer.to_dot
+           ~state_label:(Fmt.str "%a" Tm_impl.Fgp.pp_state)
+           ~action_label:(function
+             | E_invoke inv ->
+                 Fmt.str "%a" Tm_history.Event.pp_invocation inv
+             | E_poll -> "poll")
+           exploration)
+    else begin
+      Fmt.pr "%d reachable states (the paper's Figure 15 lists 10):@."
+        (List.length exploration.Tm_automaton.Explorer.states);
+      List.iteri
+        (fun i (s, _) ->
+          Fmt.pr "  s%-2d %a@." (i + 1) Tm_impl.Fgp.pp_state s)
+        exploration.Tm_automaton.Explorer.states
+    end
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit the Graphviz graph.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Enumerate the reachable states of Fgp with one process and one \
+          binary t-variable (Figure 15).")
+    Term.(const run $ dot)
+
+let crash_windows_cmd =
+  let run samples =
+    Fmt.pr
+      "Fraction of %d random crash points that permanently stall a solo \
+       runner@.(3-write transactions on one hot t-variable):@.@." samples;
+    let inc =
+      Tm_sim.Workload.W_write
+        ( 0,
+          fun reads ->
+            (match List.assoc_opt 0 reads with Some v -> v | None -> 0) + 1 )
+    in
+    let hot =
+      Tm_sim.Workload.fixed "w3x1"
+        [ [ Tm_sim.Workload.W_read 0; inc; inc; inc ] ]
+    in
+    List.iter
+      (fun entry ->
+        let stalls = ref 0 in
+        for seed = 1 to samples do
+          let crash_step = 20 + (seed * 17 mod 300) in
+          let spec =
+            Tm_sim.Runner.spec ~nprocs:2 ~ntvars:1 ~steps:4000 ~seed
+              ~sched:Tm_sim.Runner.Round_robin ~workload:hot
+              ~fates:[ (1, Tm_sim.Runner.Crash_at crash_step) ]
+              ()
+          in
+          let o = Tm_sim.Runner.run entry spec in
+          if o.Tm_sim.Runner.commits.(2) < 10 then incr stalls
+        done;
+        Fmt.pr "%-18s %3d/%d@." entry.Tm_impl.Registry.entry_name !stalls
+          samples)
+      Tm_impl.Registry.all
+  in
+  let samples =
+    Arg.(value & opt int 40 & info [ "s"; "samples" ] ~doc:"Crash points.")
+  in
+  Cmd.v
+    (Cmd.info "crash-windows"
+       ~doc:"Measure each TM's crash-vulnerability window.")
+    Term.(const run $ samples)
+
+let dump_cmd =
+  let run entry nprocs ntvars steps seed file =
+    let spec =
+      Tm_sim.Runner.spec ~nprocs ~ntvars ~steps ~seed
+        ~sched:Tm_sim.Runner.Uniform ()
+    in
+    let o = Tm_sim.Runner.run entry spec in
+    let text = Tm_history.Codec.history_to_string o.Tm_sim.Runner.history in
+    let oc = open_out file in
+    output_string oc text;
+    close_out oc;
+    Fmt.pr "wrote %d events to %s@."
+      (Tm_history.History.length o.Tm_sim.Runner.history)
+      file
+  in
+  let nprocs =
+    Arg.(value & opt int 3 & info [ "p"; "procs" ] ~doc:"Number of processes.")
+  in
+  let ntvars =
+    Arg.(value & opt int 4 & info [ "t"; "tvars" ] ~doc:"Number of t-variables.")
+  in
+  let steps =
+    Arg.(value & opt int 400 & info [ "n"; "steps" ] ~doc:"Simulation steps.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let file =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Simulate a TM and write the history to a file.")
+    Term.(const run $ tm_arg $ nprocs $ ntvars $ steps $ seed $ file)
+
+let check_cmd =
+  let run file =
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    match Tm_history.Codec.history_of_string text with
+    | Error m ->
+        Fmt.epr "error: %s@." m;
+        exit 2
+    | Ok h ->
+        Fmt.pr "loaded %d events@." (Tm_history.History.length h);
+        (match Tm_safety.Monitor.run h with
+        | Tm_safety.Monitor.Accepted ->
+            Fmt.pr "monitor: ACCEPTED (opaque, witness found)@."
+        | Tm_safety.Monitor.No_witness m ->
+            Fmt.pr "monitor: no commit-order witness (%s)@." m;
+            if Tm_history.History.length h <= 600 then begin
+              Fmt.pr "exact opacity: %b@." (Tm_safety.Opacity.is_opaque h);
+              Fmt.pr "exact strict serializability: %b@."
+                (Tm_safety.Serializability.is_strictly_serializable h)
+            end);
+        match Tm_liveness.Empirical.find_lasso h with
+        | None -> Fmt.pr "no periodic suffix detected@."
+        | Some l ->
+            Fmt.pr "periodic suffix detected; liveness verdict: %a@."
+              Tm_liveness.Property.pp_verdict
+              (Tm_liveness.Property.verdict l)
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Trace file (see $(b,dump)).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Load a dumped trace and check safety (and detect liveness).")
+    Term.(const run $ file)
+
+let () =
+  let info =
+    Cmd.info "tmlive" ~version:"1.0.0"
+      ~doc:
+        "Executable companion to 'On the Liveness of Transactional Memory' \
+         (PODC 2012)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            zoo_cmd; figures_cmd; simulate_cmd; game_cmd; matrix_cmd;
+            monitor_cmd; sweep_cmd; explore_cmd; crash_windows_cmd; dump_cmd;
+            check_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/custom_tm.ml: Array Event Fmt List Pretty Tm_adversary Tm_history Tm_impl Tm_safety Tm_sim

@@ -1,0 +1,1 @@
+examples/history_explorer.ml: Fmt List Tm_history Tm_liveness Tm_safety

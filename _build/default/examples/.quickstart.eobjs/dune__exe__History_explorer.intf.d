@@ -1,0 +1,1 @@
+examples/history_explorer.mli:

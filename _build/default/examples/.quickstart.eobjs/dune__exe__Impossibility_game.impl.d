@@ -1,0 +1,1 @@
+examples/impossibility_game.ml: Array Fmt List Option Tm_adversary Tm_impl

@@ -1,0 +1,1 @@
+examples/impossibility_game.mli:

@@ -1,0 +1,1 @@
+examples/progress_zoo.ml: Array Fmt List Tm_impl Tm_sim

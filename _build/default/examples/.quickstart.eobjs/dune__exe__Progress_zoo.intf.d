@@ -1,0 +1,1 @@
+examples/progress_zoo.mli:

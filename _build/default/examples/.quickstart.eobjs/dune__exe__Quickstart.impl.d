@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Option Tm_history Tm_impl Tm_liveness Tm_safety Tm_sim

@@ -1,0 +1,1 @@
+examples/trace_forensics.ml: Array Fmt List Option String Tm_history Tm_impl Tm_liveness Tm_safety Tm_sim

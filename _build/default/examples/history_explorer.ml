@@ -1,0 +1,24 @@
+(* Every figure of the paper, rendered and machine-checked: the finite
+   histories get safety verdicts, the infinite (lasso) histories get
+   process classifications and liveness verdicts.
+
+   Run with: dune exec examples/history_explorer.exe *)
+
+let () =
+  Fmt.pr "=== Finite histories (safety verdicts) ===@.@.";
+  List.iter
+    (fun (name, h) ->
+      Fmt.pr "--- %s ---@.%a" name Tm_history.Pretty.pp_by_process h;
+      Fmt.pr "opaque: %b, strictly serializable: %b@.@."
+        (Tm_safety.Opacity.is_opaque h)
+        (Tm_safety.Serializability.is_strictly_serializable h))
+    Tm_history.Figures.all_finite;
+  Fmt.pr "=== Infinite histories (liveness verdicts) ===@.@.";
+  List.iter
+    (fun (name, l) ->
+      Fmt.pr "--- %s ---@.%a@." name Tm_history.Pretty.pp_lasso l;
+      Fmt.pr "%a@." Tm_liveness.Process_class.pp_table
+        (Tm_liveness.Process_class.classify l);
+      Fmt.pr "%a@.@." Tm_liveness.Property.pp_verdict
+        (Tm_liveness.Property.verdict l))
+    Tm_history.Figures.all_lassos

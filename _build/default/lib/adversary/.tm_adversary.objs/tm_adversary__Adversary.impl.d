@@ -1,0 +1,1 @@
+lib/adversary/adversary.ml: Array Event History List Tm_history Tm_impl

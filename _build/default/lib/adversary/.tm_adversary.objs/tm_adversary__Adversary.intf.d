@@ -1,0 +1,1 @@
+lib/adversary/adversary.mli: History Tm_history Tm_impl

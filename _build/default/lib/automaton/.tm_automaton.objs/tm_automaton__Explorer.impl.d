@@ -1,0 +1,1 @@
+lib/automaton/explorer.ml: Buffer Hashtbl List Printf Queue

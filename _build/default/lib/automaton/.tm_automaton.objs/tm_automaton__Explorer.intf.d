@@ -1,0 +1,1 @@
+lib/automaton/explorer.mli:

@@ -1,0 +1,76 @@
+type ('state, 'action) t = {
+  states : ('state * 'action list) list;
+  transitions : ('state * 'action * 'state) list;
+  complete : bool;
+}
+
+let reachable ~make ~snapshot ~actions ~apply ?(max_states = 10_000) () =
+  let visited = Hashtbl.create 64 in
+  let states = ref [] in
+  let transitions = ref [] in
+  let complete = ref true in
+  let queue = Queue.create () in
+  let replay path =
+    let sys = make () in
+    List.iter (apply sys) path;
+    sys
+  in
+  let register state path =
+    if Hashtbl.mem visited state then false
+    else if Hashtbl.length visited >= max_states then begin
+      complete := false;
+      false
+    end
+    else begin
+      Hashtbl.add visited state ();
+      states := (state, path) :: !states;
+      Queue.add (state, path) queue;
+      true
+    end
+  in
+  let sys0 = make () in
+  let s0 = snapshot sys0 in
+  ignore (register s0 []);
+  while not (Queue.is_empty queue) do
+    let state, path = Queue.take queue in
+    let sys = replay path in
+    let enabled = actions sys in
+    List.iter
+      (fun a ->
+        let sys' = replay path in
+        apply sys' a;
+        let s' = snapshot sys' in
+        transitions := (state, a, s') :: !transitions;
+        ignore (register s' (path @ [ a ])))
+      enabled
+  done;
+  {
+    states = List.rev !states;
+    transitions = List.rev !transitions;
+    complete = !complete;
+  }
+
+let check_invariant t inv =
+  List.find_opt (fun (s, _) -> not (inv s)) t.states
+
+let to_dot ~state_label ~action_label t =
+  let buf = Buffer.create 1024 in
+  let name_of =
+    let table = Hashtbl.create 16 in
+    List.iteri (fun i (s, _) -> Hashtbl.replace table s ("s" ^ string_of_int (i + 1))) t.states;
+    fun s -> try Hashtbl.find table s with Not_found -> "?"
+  in
+  Buffer.add_string buf "digraph automaton {\n  rankdir=LR;\n";
+  List.iter
+    (fun (s, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [label=%S];\n" (name_of s) (state_label s)))
+    t.states;
+  List.iter
+    (fun (s, a, s') ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s [label=%S];\n" (name_of s) (name_of s')
+           (action_label a)))
+    t.transitions;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

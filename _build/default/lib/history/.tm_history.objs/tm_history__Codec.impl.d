@@ -1,0 +1,1 @@
+lib/history/codec.ml: Event History Lasso List Printf String

@@ -1,0 +1,1 @@
+lib/history/event.mli: Format

@@ -1,0 +1,1 @@
+lib/history/figures.ml: Event History Lasso List

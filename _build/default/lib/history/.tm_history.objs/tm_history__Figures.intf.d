@@ -1,0 +1,1 @@
+lib/history/figures.mli: Event History Lasso

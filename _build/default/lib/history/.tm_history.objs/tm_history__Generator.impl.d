@@ -1,0 +1,1 @@
+lib/history/generator.ml: Array Event Hashtbl History Int64 Lasso List

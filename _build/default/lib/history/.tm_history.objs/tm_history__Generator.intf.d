@@ -1,0 +1,1 @@
+lib/history/generator.mli: History Lasso

@@ -1,0 +1,1 @@
+lib/history/history.ml: Event Fmt Hashtbl Int List Result

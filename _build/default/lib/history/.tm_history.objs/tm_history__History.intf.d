@@ -1,0 +1,1 @@
+lib/history/history.mli: Event Format

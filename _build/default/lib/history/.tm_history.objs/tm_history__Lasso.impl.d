@@ -1,0 +1,1 @@
+lib/history/lasso.ml: Event Fmt Hashtbl History Int List

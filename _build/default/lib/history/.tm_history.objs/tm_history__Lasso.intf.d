@@ -1,0 +1,1 @@
+lib/history/lasso.mli: Event Format History

@@ -1,0 +1,1 @@
+lib/history/pretty.ml: Array Buffer Event Fmt History Lasso List Printf String

@@ -1,0 +1,1 @@
+lib/history/pretty.mli: Event Format History Lasso

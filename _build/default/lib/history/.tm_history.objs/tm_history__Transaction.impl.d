@@ -1,0 +1,1 @@
+lib/history/transaction.ml: Event Fmt History Int List

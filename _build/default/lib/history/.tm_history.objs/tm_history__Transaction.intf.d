@@ -1,0 +1,1 @@
+lib/history/transaction.mli: Event Format History

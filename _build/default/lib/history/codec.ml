@@ -1,0 +1,89 @@
+let event_to_string = function
+  | Event.Inv (p, Event.Read x) -> Printf.sprintf "inv %d read %d" p x
+  | Event.Inv (p, Event.Write (x, v)) -> Printf.sprintf "inv %d write %d %d" p x v
+  | Event.Inv (p, Event.Try_commit) -> Printf.sprintf "inv %d tryc" p
+  | Event.Res (p, Event.Value v) -> Printf.sprintf "res %d value %d" p v
+  | Event.Res (p, Event.Ok_written) -> Printf.sprintf "res %d ok" p
+  | Event.Res (p, Event.Committed) -> Printf.sprintf "res %d commit" p
+  | Event.Res (p, Event.Aborted) -> Printf.sprintf "res %d abort" p
+
+let event_of_string line =
+  let fail () = Error (Printf.sprintf "cannot parse event: %S" line) in
+  let int s = int_of_string_opt s in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "inv"; p; "read"; x ] -> (
+      match (int p, int x) with
+      | Some p, Some x -> Ok (Event.Inv (p, Event.Read x))
+      | _ -> fail ())
+  | [ "inv"; p; "write"; x; v ] -> (
+      match (int p, int x, int v) with
+      | Some p, Some x, Some v -> Ok (Event.Inv (p, Event.Write (x, v)))
+      | _ -> fail ())
+  | [ "inv"; p; "tryc" ] -> (
+      match int p with
+      | Some p -> Ok (Event.Inv (p, Event.Try_commit))
+      | None -> fail ())
+  | [ "res"; p; "value"; v ] -> (
+      match (int p, int v) with
+      | Some p, Some v -> Ok (Event.Res (p, Event.Value v))
+      | _ -> fail ())
+  | [ "res"; p; "ok" ] -> (
+      match int p with
+      | Some p -> Ok (Event.Res (p, Event.Ok_written))
+      | None -> fail ())
+  | [ "res"; p; "commit" ] -> (
+      match int p with
+      | Some p -> Ok (Event.Res (p, Event.Committed))
+      | None -> fail ())
+  | [ "res"; p; "abort" ] -> (
+      match int p with
+      | Some p -> Ok (Event.Res (p, Event.Aborted))
+      | None -> fail ())
+  | _ -> fail ()
+
+let history_to_string h =
+  String.concat "\n" (List.map event_to_string (History.events h)) ^ "\n"
+
+let meaningful line =
+  let t = String.trim line in
+  t <> "" && t.[0] <> '#'
+
+let parse_events lines =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match event_of_string line with
+        | Ok e -> go (e :: acc) rest
+        | Error m -> Error m)
+  in
+  go [] (List.filter meaningful lines)
+
+let history_of_string s =
+  match parse_events (String.split_on_char '\n' s) with
+  | Error m -> Error m
+  | Ok events ->
+      let h = History.of_events events in
+      (match History.well_formed h with
+      | Ok () -> Ok h
+      | Error m -> Error ("ill-formed history: " ^ m))
+
+let lasso_to_string (l : Lasso.t) =
+  String.concat "\n"
+    (List.map event_to_string l.stem
+    @ [ "cycle:" ]
+    @ List.map event_to_string l.cycle)
+  ^ "\n"
+
+let lasso_of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec split stem = function
+    | [] -> Error "lasso file has no 'cycle:' separator"
+    | line :: rest when String.trim line = "cycle:" -> Ok (List.rev stem, rest)
+    | line :: rest -> split (line :: stem) rest
+  in
+  match split [] lines with
+  | Error m -> Error m
+  | Ok (stem_lines, cycle_lines) -> (
+      match (parse_events stem_lines, parse_events cycle_lines) with
+      | Ok stem, Ok cycle -> Lasso.check ~stem ~cycle
+      | Error m, _ | _, Error m -> Error m)

@@ -1,0 +1,24 @@
+(** Plain-text (de)serialization of histories and lassos.
+
+    One event per line, in a stable format:
+    {v
+    inv 1 read 0
+    res 1 value 0
+    inv 1 write 0 5
+    res 1 ok
+    inv 1 tryc
+    res 1 commit
+    res 2 abort
+    v}
+    Lasso files separate the stem from the cycle with a single [cycle:]
+    line.  Blank lines and lines starting with [#] are ignored.  Used by
+    the CLI to dump and re-check traces, and round-trip-tested. *)
+
+val event_to_string : Event.t -> string
+val event_of_string : string -> (Event.t, string) result
+
+val history_to_string : History.t -> string
+val history_of_string : string -> (History.t, string) result
+
+val lasso_to_string : Lasso.t -> string
+val lasso_of_string : string -> (Lasso.t, string) result

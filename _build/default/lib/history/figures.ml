@@ -1,0 +1,208 @@
+let x = 0
+let y = 1
+
+(* Shorthand: H.read / H.write / ... produce [inv; res] pairs. *)
+module H = History
+
+let fig1 =
+  H.steps
+    [
+      H.read 1 x 0;
+      H.read 2 x 0;
+      H.write 2 x 1;
+      H.commit 2;
+      H.write_aborted 1 x 1;
+    ]
+
+let fig3 =
+  H.steps
+    [
+      H.read 1 x 0;
+      H.read 2 x 0;
+      H.write 2 x 1;
+      H.commit 2;
+      H.write 1 x 1;
+      H.commit 1;
+    ]
+
+let fig4 =
+  H.steps [ H.read 1 x 0; H.write 2 x 1; H.commit 2; H.read 1 x 1; H.abort 1 ]
+
+let fig5 =
+  (* One cycle: p1 commits a 0->1 round while p2 aborts, then p2 commits a
+     1->0 round while p1 aborts; the t-variable returns to 0 so the cycle
+     repeats forever. *)
+  Lasso.v ~stem:[]
+    ~cycle:
+      (List.concat
+         [
+           H.read 1 x 0;
+           H.read 2 x 0;
+           H.write 1 x 1;
+           H.commit 1;
+           H.write_aborted 2 x 1;
+           H.read 2 x 1;
+           H.read 1 x 1;
+           H.write 2 x 0;
+           H.commit 2;
+           H.write_aborted 1 x 0;
+         ])
+
+let fig6 =
+  (* p1 commits forever; p2 is aborted forever (but keeps trying, so it is
+     correct). Two rounds per cycle so the t-variable returns to 0. *)
+  Lasso.v ~stem:[]
+    ~cycle:
+      (List.concat
+         [
+           H.read 1 x 0;
+           H.read 2 x 0;
+           H.write 1 x 1;
+           H.commit 1;
+           H.write_aborted 2 x 1;
+           H.read 1 x 1;
+           H.read 2 x 1;
+           H.write 1 x 0;
+           H.commit 1;
+           H.write_aborted 2 x 0;
+         ])
+
+let fig7 =
+  (* p1 reads 0 then crashes; p2 commits one transaction then turns
+     parasitic (keeps reading/writing, never invokes tryC, never aborted);
+     p3 commits forever. *)
+  Lasso.v
+    ~stem:
+      (List.concat
+         [
+           H.read 1 x 0;
+           H.write 2 x 1;
+           H.commit 2;
+           H.read 2 x 1 (* p2's parasitic transaction starts *);
+         ])
+    ~cycle:
+      (List.concat
+         [
+           H.read 3 x 1;
+           H.write 3 x 0;
+           H.commit 3;
+           H.write 2 x 0;
+           H.read 2 x 0;
+           H.read 3 x 0;
+           H.write 3 x 1;
+           H.commit 3;
+           H.write 2 x 1;
+           H.read 2 x 1;
+         ])
+
+let fig8 ~v =
+  H.steps
+    [
+      H.read 1 x v;
+      H.read 2 x v;
+      H.write 2 x (v + 1);
+      H.commit 2;
+      H.write 1 x (v + 1);
+      H.commit 1;
+    ]
+
+let fig9 =
+  Lasso.v ~stem:(H.read 1 x 0) ~cycle:(H.read_aborted 2 x)
+
+let fig10 =
+  Lasso.v ~stem:[]
+    ~cycle:
+      (List.concat
+         [
+           H.read 1 x 0;
+           H.read 2 x 0;
+           H.write 2 x 1;
+           H.commit 2;
+           H.write_aborted 1 x 1;
+           H.read 1 x 1;
+           H.read 2 x 1;
+           H.write 2 x 0;
+           H.commit 2;
+           H.write_aborted 1 x 0;
+         ])
+
+let fig12 =
+  (* p1 reads forever without ever attempting to commit (parasitic); p2 is
+     aborted forever (correct, starving). *)
+  Lasso.v ~stem:[] ~cycle:(List.concat [ H.read 1 x 0; H.read_aborted 2 x ])
+
+let fig13 = fig10
+
+let fig14 =
+  (* Like Figure 7 but p3 aborts forever: nobody makes progress even though
+     p3 runs alone. *)
+  Lasso.v
+    ~stem:
+      (List.concat
+         [
+           H.read 1 x 0;
+           H.write 2 x 1;
+           H.commit 2;
+           H.read 2 x 1 (* p2's parasitic transaction starts *);
+         ])
+    ~cycle:
+      (List.concat
+         [
+           H.read 3 x 1;
+           H.write_aborted 3 x 0;
+           H.write 2 x 0;
+           H.read 2 x 0;
+           H.write 2 x 1;
+           H.read 2 x 1;
+         ])
+
+let fig16 =
+  History.of_events
+    Event.
+      [
+        Inv (1, Read x);
+        Res (1, Value 0);
+        Inv (2, Write (y, 1));
+        Inv (1, Write (x, 1));
+        Res (1, Ok_written);
+        Inv (1, Try_commit);
+        Res (1, Committed);
+        Res (2, Aborted);
+        Inv (3, Read y);
+        Res (3, Value 0);
+        Inv (3, Write (y, 1));
+        Res (3, Ok_written);
+        Inv (1, Read y);
+        Res (1, Value 0);
+        Inv (3, Try_commit);
+        Res (3, Committed);
+        Inv (1, Try_commit);
+        Res (1, Aborted);
+        Inv (2, Read y);
+        Res (2, Value 1);
+        Inv (2, Read x);
+        Res (2, Value 1);
+        Inv (2, Try_commit);
+        Res (2, Committed);
+      ]
+
+let all_finite =
+  [
+    ("fig1", fig1);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig8", fig8 ~v:0);
+    ("fig16", fig16);
+  ]
+
+let all_lassos =
+  [
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("fig14", fig14);
+  ]

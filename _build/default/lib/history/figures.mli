@@ -1,0 +1,84 @@
+(** Every history figure of the paper, encoded as a value.
+
+    The test suite re-derives each figure's verdict as claimed by the paper
+    (see the per-figure documentation below and EXPERIMENTS.md).  Finite
+    histories are {!History.t}; infinite ones are {!Lasso.t}.
+
+    Conventions: the single t-variable of Figures 1 and 3–14 is [x = 0];
+    Figure 16 uses [x = 0] and [y = 1].  All t-variables initially hold 0. *)
+
+val fig1 : History.t
+(** Figure 1: p1 reads 0 from [x] and is suspended; p2 reads 0, writes 1 and
+    commits; p1 then tries to write and is aborted.  The paper states this
+    history is {e opaque} (and hence strictly serializable).  Its infinite
+    repetition is what the Theorem-1 adversary produces. *)
+
+val fig3 : History.t
+(** Figure 3: both p1 and p2 read 0 from [x], write 1, and commit.  Neither
+    opaque nor strictly serializable. *)
+
+val fig4 : History.t
+(** Figure 4: p1 reads 0; p2 writes 1 and commits; p1 reads 1 and aborts.
+    Strictly serializable but not opaque. *)
+
+val fig5 : Lasso.t
+(** Figure 5: two processes alternately commit (and abort) transactions
+    forever; both make progress.  Ensures local progress (hence global and
+    solo progress); respects nonblocking and biprogressing. *)
+
+val fig6 : Lasso.t
+(** Figure 6: p1 commits forever, p2 aborts forever; both correct.  Ensures
+    global progress but not local progress; does not respect any
+    biprogressing property. *)
+
+val fig7 : Lasso.t
+(** Figure 7: p1 crashes after one read; p2 becomes parasitic in its second
+    transaction; p3 runs alone and commits forever.  Ensures solo
+    progress. *)
+
+val fig8 : v:Event.value -> History.t
+(** Figure 8 (= Figure 11): the suffix of a finite history corresponding to
+    a terminating execution of Algorithm 1 (Algorithm 2): both processes
+    read [v], write [v+1] and commit.  Not opaque — this is the core of the
+    impossibility proof.  Figure 3 is the [v = 0] instance. *)
+
+val fig9 : Lasso.t
+(** Figure 9: suffix of an Algorithm-1 execution in which p1 crashes and p2
+    is aborted forever.  p2 is correct and starving: local progress is
+    violated. *)
+
+val fig10 : Lasso.t
+(** Figure 10: suffix of an Algorithm-1 execution in which p1 does not
+    crash: p1 is aborted forever while p2 commits forever.  p1 is correct
+    and starving: local progress is violated. *)
+
+val fig12 : Lasso.t
+(** Figure 12: suffix of an Algorithm-2 execution in which p1 is parasitic
+    (reads forever, never attempts to commit) and p2 is aborted forever.
+    p2 is correct and starving. *)
+
+val fig13 : Lasso.t
+(** Figure 13: suffix of an Algorithm-2 execution in which p1 is not
+    parasitic: p1 is aborted forever while p2 commits forever.  Same shape
+    as Figure 10. *)
+
+val fig14 : Lasso.t
+(** Figure 14: p1 crashes, p2 is parasitic, and p3 — which runs alone —
+    aborts forever.  Does not respect any nonblocking TM-liveness property.
+
+    Encoding note: the paper's drawing lets p3 read alternating values even
+    though no process commits after the prefix; we encode the
+    opacity-consistent variant in which p3 always reads the last committed
+    value (1).  The liveness verdicts, which are all that Figure 14 is used
+    for, are identical. *)
+
+val fig16 : History.t
+(** Figure 16: the example history [Hex] of the global-progress automaton
+    [Fgp] with three processes and two t-variables.  Opaque; replayable on
+    our [Fgp] implementation step for step (see the adversary/simulation
+    tests). *)
+
+val all_finite : (string * History.t) list
+(** All finite figures with their names, for iteration in tests/benches. *)
+
+val all_lassos : (string * Lasso.t) list

@@ -1,0 +1,162 @@
+type config = { nprocs : int; ntvars : int; max_value : int }
+
+let default = { nprocs = 3; ntvars = 3; max_value = 5 }
+
+(* A tiny self-contained splitmix64, so this library stays independent of
+   the simulation layer. *)
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let mix z =
+    let open Int64 in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  let create seed = { state = mix (Int64.of_int ((seed * 2) + 1)) }
+
+  let int t bound =
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    let r = Int64.to_int (Int64.shift_right_logical (mix t.state) 2) in
+    r mod bound
+
+  let bool t = int t 2 = 1
+end
+
+let well_formed ?(config = default) ~steps seed =
+  let g = Rng.create seed in
+  let pending = Hashtbl.create 8 in
+  let rec go acc n =
+    if n = 0 then List.rev acc
+    else
+      let p = 1 + Rng.int g config.nprocs in
+      match Hashtbl.find_opt pending p with
+      | None ->
+          let inv =
+            match Rng.int g 4 with
+            | 0 -> Event.Read (Rng.int g config.ntvars)
+            | 1 | 2 ->
+                Event.Write
+                  (Rng.int g config.ntvars, Rng.int g (config.max_value + 1))
+            | _ -> Event.Try_commit
+          in
+          Hashtbl.replace pending p inv;
+          go (Event.Inv (p, inv) :: acc) (n - 1)
+      | Some inv ->
+          let resp =
+            if Rng.int g 5 = 0 then Event.Aborted
+            else
+              match inv with
+              | Event.Read _ -> Event.Value (Rng.int g (config.max_value + 1))
+              | Event.Write _ -> Event.Ok_written
+              | Event.Try_commit ->
+                  if Rng.bool g then Event.Committed else Event.Aborted
+          in
+          Hashtbl.remove pending p;
+          go (Event.Res (p, resp) :: acc) (n - 1)
+  in
+  History.of_events (go [] steps)
+
+let serial ?(config = default) ~transactions seed =
+  let g = Rng.create seed in
+  let store = Array.make config.ntvars 0 in
+  let steps = ref [] in
+  for _ = 1 to transactions do
+    let p = 1 + Rng.int g config.nprocs in
+    let nops = 1 + Rng.int g 4 in
+    let commits = Rng.bool g in
+    let own = Hashtbl.create 4 in
+    for _ = 1 to nops do
+      let x = Rng.int g config.ntvars in
+      if Rng.bool g then begin
+        let v =
+          match Hashtbl.find_opt own x with
+          | Some v -> v
+          | None -> store.(x)
+        in
+        steps := History.read p x v :: !steps
+      end
+      else begin
+        let v = Rng.int g (config.max_value + 1) in
+        Hashtbl.replace own x v;
+        steps := History.write p x v :: !steps
+      end
+    done;
+    if commits then begin
+      Hashtbl.iter (fun x v -> store.(x) <- v) own;
+      steps := History.commit p :: !steps
+    end
+    else steps := History.abort p :: !steps
+  done;
+  History.steps (List.rev !steps)
+
+let lasso ?(config = default) seed =
+  let g = Rng.create seed in
+  let pair p =
+    match Rng.int g 5 with
+    | 0 -> History.read p (Rng.int g config.ntvars) 0
+    | 1 -> History.read_aborted p (Rng.int g config.ntvars)
+    | 2 ->
+        History.write p (Rng.int g config.ntvars)
+          (Rng.int g (config.max_value + 1))
+    | 3 -> History.commit p
+    | _ -> History.abort p
+  in
+  let cycle_procs =
+    List.filter (fun _ -> Rng.bool g) (List.init config.nprocs (fun i -> i + 1))
+  in
+  let cycle_procs = if cycle_procs = [] then [ 1 ] else cycle_procs in
+  let cycle =
+    List.concat
+      (List.init
+         (1 + Rng.int g 6)
+         (fun _ ->
+           pair (List.nth cycle_procs (Rng.int g (List.length cycle_procs)))))
+  in
+  let stem =
+    List.concat
+      (List.init (Rng.int g 4) (fun _ -> pair (1 + Rng.int g config.nprocs)))
+  in
+  (* Optionally a dangling invocation for a non-cycle process (a crash
+     mid-operation). *)
+  let dangling =
+    let outside =
+      List.filter
+        (fun p -> not (List.mem p cycle_procs))
+        (List.init config.nprocs (fun i -> i + 1))
+    in
+    match outside with
+    | p :: _ when Rng.bool g -> [ Event.Inv (p, Event.Read 0) ]
+    | _ -> []
+  in
+  Lasso.v ~stem:(stem @ dangling) ~cycle
+
+let mutate_read h seed =
+  let g = Rng.create seed in
+  let es = Array.of_list (History.events h) in
+  (* Eligible reads: value responses whose read is not shadowed by an own
+     write earlier in the same transaction. *)
+  let own = Hashtbl.create 8 in
+  let eligible = ref [] in
+  Array.iteri
+    (fun i e ->
+      match e with
+      | Event.Inv (p, Event.Write (x, _)) -> Hashtbl.replace own (p, x) ()
+      | Event.Res (p, (Event.Committed | Event.Aborted)) ->
+          Hashtbl.iter
+            (fun (q, x) () -> if q = p then Hashtbl.remove own (q, x))
+            (Hashtbl.copy own)
+      | Event.Res (p, Event.Value v) -> (
+          match es.(i - 1) with
+          | Event.Inv (q, Event.Read x) when q = p && not (Hashtbl.mem own (p, x))
+            ->
+              eligible := (i, v) :: !eligible
+          | _ -> ())
+      | Event.Inv _ | Event.Res _ -> ())
+    es;
+  match !eligible with
+  | [] -> None
+  | choices ->
+      let i, v = List.nth choices (Rng.int g (List.length choices)) in
+      es.(i) <- Event.Res (Event.proc es.(i), Event.Value (v + 1));
+      Some (History.of_events (Array.to_list es))

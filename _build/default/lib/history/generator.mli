@@ -1,0 +1,39 @@
+(** Random histories and lassos, for fuzzing TMs and checkers.
+
+    Deterministic: every generator takes an explicit [seed].  These are the
+    same generators the test suite uses; they are exposed so downstream
+    users can fuzz their own TM implementations and checkers (see
+    [examples/custom_tm.ml]).
+
+    - {!well_formed} draws an arbitrary well-formed history: invocations
+      and responses alternate per process, response kinds match, but
+      values are arbitrary — most draws are {e not} opaque.  Useful for
+      exercising checkers.
+    - {!serial} draws a faithful serial execution against a store: whole
+      transactions run one at a time, reads return true values, aborted
+      transactions have no effect.  Always opaque.  Useful as a
+      positive-control corpus and as a base for mutation.
+    - {!lasso} draws a well-formed lasso whose cycle is made of completed
+      operation pairs. *)
+
+type config = {
+  nprocs : int;  (** processes 1..nprocs *)
+  ntvars : int;  (** t-variables 0..ntvars-1 *)
+  max_value : int;  (** values drawn from 0..max_value *)
+}
+
+val default : config
+(** 3 processes, 3 t-variables, values up to 5. *)
+
+val well_formed : ?config:config -> steps:int -> int -> History.t
+(** [well_formed ~steps seed]: approximately [steps] events. *)
+
+val serial : ?config:config -> transactions:int -> int -> History.t
+
+val lasso : ?config:config -> int -> Lasso.t
+
+val mutate_read : History.t -> int -> History.t option
+(** Corrupt one read response (adding one to its value) chosen by the
+    seed, avoiding reads shadowed by the transaction's own writes.  [None]
+    if the history has no eligible read.  Mutating a {!serial} history
+    always yields a non-opaque one. *)

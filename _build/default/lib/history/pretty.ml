@@ -1,0 +1,76 @@
+let op_token = function
+  | Event.Inv (_, Event.Read x) -> Fmt.str "x%d.r" x
+  | Event.Inv (_, Event.Write (x, v)) -> Fmt.str "x%d.w(%d)" x v
+  | Event.Inv (_, Event.Try_commit) -> "tryC"
+  | Event.Res (_, Event.Value v) -> Fmt.str "->%d" v
+  | Event.Res (_, Event.Ok_written) -> "ok"
+  | Event.Res (_, Event.Committed) -> "C"
+  | Event.Res (_, Event.Aborted) -> "A"
+
+(* Group one process's events into transaction chunks, fusing each
+   invocation with its response into a single readable token such as
+   "x0.r->0" or "x0.w(1):A". *)
+let transaction_tokens events =
+  let rec fuse = function
+    | [] -> []
+    | Event.Inv (_, i) :: Event.Res (_, r) :: rest ->
+        let tok =
+          match (i, r) with
+          | Event.Read x, Event.Value v -> Fmt.str "x%d.r->%d" x v
+          | Event.Write (x, v), Event.Ok_written -> Fmt.str "x%d.w(%d)" x v
+          | Event.Try_commit, Event.Committed -> "C"
+          | Event.Try_commit, Event.Aborted -> "A"
+          | _, Event.Aborted -> Fmt.str "%s:A" (op_token (Event.Inv (0, i)))
+          | _, _ -> Fmt.str "%s%s" (op_token (Event.Inv (0, i)))
+                      (op_token (Event.Res (0, r)))
+        in
+        tok :: fuse rest
+    | e :: rest -> (op_token e ^ "?") :: fuse rest
+  in
+  let ends_transaction tok =
+    tok = "C" || tok = "A"
+    || (String.length tok >= 2
+        && String.sub tok (String.length tok - 2) 2 = ":A")
+  in
+  let rec split current acc = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | tok :: rest ->
+        if ends_transaction tok then
+          split [] (List.rev (tok :: current) :: acc) rest
+        else split (tok :: current) acc rest
+  in
+  split [] [] (fuse events)
+
+let pp_process_row ppf (p, events) =
+  let txns = transaction_tokens events in
+  let pp_txn ppf toks = Fmt.pf ppf "[%s]" (String.concat " " toks) in
+  Fmt.pf ppf "p%d: %a" p Fmt.(list ~sep:(any " ") pp_txn) txns
+
+let pp_by_process ppf h =
+  let rows = List.map (fun p -> (p, History.project h p)) (History.procs h) in
+  Fmt.pf ppf "@[<v>%a@]@."
+    Fmt.(list ~sep:(any "@,") pp_process_row)
+    rows
+
+let pp_timeline ppf h =
+  let es = History.events h in
+  let ps = History.procs h in
+  let tokens = Array.of_list (List.map op_token es) in
+  let widths = Array.map String.length tokens in
+  let row p =
+    let buf = Buffer.create 128 in
+    List.iteri
+      (fun i e ->
+        let w = widths.(i) in
+        let cell = if Event.proc e = p then tokens.(i) else "" in
+        Buffer.add_string buf (Printf.sprintf "%-*s " w cell))
+      es;
+    Buffer.contents buf
+  in
+  List.iter (fun p -> Fmt.pf ppf "p%d | %s@," p (row p)) ps
+
+let pp_lasso ppf (l : Lasso.t) =
+  let stem_h = History.of_events l.stem in
+  let cyc_h = History.of_events l.cycle in
+  Fmt.pf ppf "@[<v>stem:@,%acycle (repeats forever):@,%a@]" pp_by_process
+    stem_h pp_by_process cyc_h

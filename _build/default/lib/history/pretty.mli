@@ -1,0 +1,23 @@
+(** Rendering histories in the style of the paper's figures.
+
+    The paper draws a history as one row per process, time flowing left to
+    right, with each transaction's operations grouped between brackets.
+    {!pp_by_process} reproduces that layout (without column alignment);
+    {!pp_timeline} additionally aligns events on their global positions so
+    that the interleaving is visible, which is the closest textual analogue
+    of the paper's figures. *)
+
+val op_token : Event.t -> string
+(** A compact token for one event: [x0.r], [->1], [x0.w(1)], [ok], [tryC],
+    [C], [A]. *)
+
+val pp_by_process : Format.formatter -> History.t -> unit
+(** One row per process; each transaction rendered as
+    [\[x0.r->0 x0.w(1) C\]]. *)
+
+val pp_timeline : Format.formatter -> History.t -> unit
+(** One row per process, events aligned in global-order columns. *)
+
+val pp_lasso : Format.formatter -> Lasso.t -> unit
+(** Renders [stem] and [cycle] with {!pp_by_process}-style rows, marking the
+    cycle part as repeating. *)

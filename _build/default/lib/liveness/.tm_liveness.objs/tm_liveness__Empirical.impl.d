@@ -1,0 +1,1 @@
+lib/liveness/empirical.ml: Array Event Fmt History Lasso List Tm_history

@@ -1,0 +1,1 @@
+lib/liveness/empirical.mli: Event Format History Lasso Tm_history

@@ -1,0 +1,1 @@
+lib/liveness/process_class.ml: Event Fmt Lasso List String Tm_history

@@ -1,0 +1,1 @@
+lib/liveness/process_class.mli: Event Format Lasso Tm_history

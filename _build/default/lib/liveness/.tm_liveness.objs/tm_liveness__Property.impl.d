@@ -1,0 +1,1 @@
+lib/liveness/property.ml: Fmt Lasso List Process_class Tm_history

@@ -1,0 +1,1 @@
+lib/liveness/property.mli: Event Format Lasso Tm_history

@@ -1,0 +1,86 @@
+open Tm_history
+
+let find_lasso ?(max_period = 200) ?(min_repeats = 3) h =
+  let es = Array.of_list (History.events h) in
+  let n = Array.length es in
+  let rec try_period q =
+    if q > max_period || q * min_repeats > n then None
+    else begin
+      (* Check that the suffix repeats with period q at least min_repeats
+         times. *)
+      let repeats_ok =
+        let limit = n - (q * min_repeats) in
+        let rec matches i =
+          (* es.(i) must equal es.(i+q) for all i in [limit, n-q-1]. *)
+          i >= n - q || (Event.equal es.(i) es.(i + q) && matches (i + 1))
+        in
+        matches limit
+      in
+      if not repeats_ok then try_period (q + 1)
+      else
+        let stem_len = n - (q * min_repeats) in
+        let stem = Array.to_list (Array.sub es 0 stem_len) in
+        let cycle = Array.to_list (Array.sub es stem_len q) in
+        match Lasso.check ~stem ~cycle with
+        | Ok l -> Some l
+        | Error _ -> try_period (q + 1)
+    end
+  in
+  if n = 0 then None else try_period 1
+
+type window_summary = {
+  proc : Event.proc;
+  events_total : int;
+  events_in_window : int;
+  commits_in_window : int;
+  aborts_in_window : int;
+  trycs_in_window : int;
+  looks_pending : bool;
+  looks_crashed : bool;
+  looks_parasitic : bool;
+  looks_progressing : bool;
+}
+
+let classify_window ~window h =
+  let es = History.events h in
+  let n = List.length es in
+  let tail = List.filteri (fun i _ -> i >= n - window) es in
+  let count_in l pred p =
+    List.length (List.filter (fun e -> Event.proc e = p && pred e) l)
+  in
+  List.map
+    (fun p ->
+      let events_total = History.event_count h p in
+      let events_in_window = count_in tail (fun _ -> true) p in
+      let commits_in_window = count_in tail Event.is_commit p in
+      let aborts_in_window = count_in tail Event.is_abort p in
+      let trycs_in_window = count_in tail Event.is_try_commit p in
+      let looks_pending = commits_in_window = 0 in
+      let looks_crashed = events_total > 0 && events_in_window = 0 in
+      let looks_parasitic =
+        events_in_window > 0 && trycs_in_window = 0 && aborts_in_window = 0
+      in
+      {
+        proc = p;
+        events_total;
+        events_in_window;
+        commits_in_window;
+        aborts_in_window;
+        trycs_in_window;
+        looks_pending;
+        looks_crashed;
+        looks_parasitic;
+        looks_progressing =
+          (not looks_pending) && (not looks_crashed) && not looks_parasitic;
+      })
+    (History.procs h)
+
+let pp_window_summary ppf s =
+  Fmt.pf ppf
+    "p%d: %d events (%d in window), C=%d A=%d tryC=%d%s%s%s%s" s.proc
+    s.events_total s.events_in_window s.commits_in_window s.aborts_in_window
+    s.trycs_in_window
+    (if s.looks_pending then " pending?" else "")
+    (if s.looks_crashed then " crashed?" else "")
+    (if s.looks_parasitic then " parasitic?" else "")
+    (if s.looks_progressing then " progressing" else "")

@@ -1,0 +1,46 @@
+open Tm_history
+
+(** Bridging finite runs and infinite-history verdicts.
+
+    Liveness properties are defined on infinite histories; simulations
+    produce finite ones.  Two bridges:
+
+    - {!find_lasso} detects an {e exactly periodic suffix} of a finite
+      history and returns the corresponding lasso, so the exact deciders of
+      {!Property} apply.  This is a sound extrapolation whenever the
+      system that produced the run (TM + programs + scheduler) is
+      deterministic with finite state — e.g. any zoo TM under the
+      round-robin scheduler — because a repeated (state, schedule-phase)
+      pair provably loops forever.  For randomized schedules it is a
+      heuristic and usually finds nothing.
+
+    - {!classify_window} gives per-process bounded-window verdicts
+      ("committed in the last [window] events?"), the honest empirical
+      reading of pending/parasitic/crashed on arbitrary finite runs. *)
+
+val find_lasso : ?max_period:int -> ?min_repeats:int -> History.t -> Lasso.t option
+(** The smallest period [q <= max_period] (default 200) such that the
+    history's suffix repeats with period [q] at least [min_repeats]
+    (default 3) times and the pending-invocation state repeats across the
+    cycle; the lasso's stem is the non-periodic prefix.  [None] when no
+    such suffix exists. *)
+
+type window_summary = {
+  proc : Event.proc;
+  events_total : int;
+  events_in_window : int;
+  commits_in_window : int;
+  aborts_in_window : int;
+  trycs_in_window : int;
+  looks_pending : bool;  (** no commit in the window *)
+  looks_crashed : bool;  (** has events overall, none in the window *)
+  looks_parasitic : bool;
+      (** active in the window with neither [tryC] nor aborts in it *)
+  looks_progressing : bool;
+}
+
+val classify_window : window:int -> History.t -> window_summary list
+(** One summary per process, ascending; the window is the last [window]
+    events of the history. *)
+
+val pp_window_summary : Format.formatter -> window_summary -> unit

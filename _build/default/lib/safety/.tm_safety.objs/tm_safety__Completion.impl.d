@@ -1,0 +1,1 @@
+lib/safety/completion.ml: Int List Tm_history Transaction

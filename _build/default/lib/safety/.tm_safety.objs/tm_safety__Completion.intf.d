@@ -1,0 +1,1 @@
+lib/safety/completion.mli: History Tm_history Transaction

@@ -1,0 +1,1 @@
+lib/safety/legality.ml: List Store Tm_history Transaction

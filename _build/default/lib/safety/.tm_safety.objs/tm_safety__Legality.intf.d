@@ -1,0 +1,1 @@
+lib/safety/legality.mli: History Store Tm_history Transaction

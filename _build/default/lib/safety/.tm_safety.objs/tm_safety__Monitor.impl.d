@@ -1,0 +1,1 @@
+lib/safety/monitor.ml: Event Fmt Hashtbl History Int List Tm_history

@@ -1,0 +1,1 @@
+lib/safety/monitor.mli: Event History Tm_history

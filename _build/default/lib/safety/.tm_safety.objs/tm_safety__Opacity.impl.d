@@ -1,0 +1,1 @@
+lib/safety/opacity.ml: Completion Fmt History List Option Serialize Tm_history

@@ -1,0 +1,1 @@
+lib/safety/opacity.mli: History Tm_history Transaction

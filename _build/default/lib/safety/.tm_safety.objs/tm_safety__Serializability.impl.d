@@ -1,0 +1,1 @@
+lib/safety/serializability.ml: Completion Event History List Option Serialize Tm_history Transaction

@@ -1,0 +1,1 @@
+lib/safety/serializability.mli: History Tm_history Transaction

@@ -1,0 +1,1 @@
+lib/safety/serialize.ml: Array Bytes Char Fun Hashtbl Int Legality List Option Store Tm_history Transaction

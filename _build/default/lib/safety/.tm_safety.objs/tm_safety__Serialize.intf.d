@@ -1,0 +1,1 @@
+lib/safety/serialize.mli: Tm_history Transaction

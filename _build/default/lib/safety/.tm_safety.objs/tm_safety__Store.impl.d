@@ -1,0 +1,1 @@
+lib/safety/store.ml: Event Fmt Int List Map Tm_history

@@ -1,0 +1,1 @@
+lib/safety/store.mli: Event Format Tm_history

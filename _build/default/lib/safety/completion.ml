@@ -1,0 +1,32 @@
+open Tm_history
+
+(* All subsets of [xs], smallest first. *)
+let subsets xs =
+  let by_size =
+    List.fold_left
+      (fun acc x -> acc @ List.map (fun s -> x :: s) acc)
+      [ [] ] xs
+  in
+  List.sort
+    (fun a b -> Int.compare (List.length a) (List.length b))
+    by_size
+
+let candidates h =
+  let ts = Transaction.of_history h in
+  let undecided = List.filter Transaction.commit_pending ts in
+  if List.length undecided > 16 then
+    invalid_arg "Completion.candidates: too many commit-pending transactions";
+  let key t = (t.Transaction.proc, t.Transaction.seq) in
+  let complete chosen t =
+    match t.Transaction.status with
+    | Transaction.Committed | Transaction.Aborted -> t
+    | Transaction.Live ->
+        if Transaction.commit_pending t && List.mem (key t) chosen then
+          Transaction.completed_as Transaction.Committed t
+        else Transaction.completed_as Transaction.Aborted t
+  in
+  List.map
+    (fun subset ->
+      let chosen = List.map key subset in
+      List.map (complete chosen) ts)
+    (subsets undecided)

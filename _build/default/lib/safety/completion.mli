@@ -1,0 +1,24 @@
+open Tm_history
+
+(** Completions of a finite history's transactions.
+
+    The paper's [com(H)] aborts every transaction that is neither committed
+    nor aborted.  For transactions whose last event is a {e pending [tryC]
+    invocation} that is too strict: the TM may already have made the commit
+    take effect without the response being delivered (a helped commit in
+    OSTM, or a crash between write-back and response delivery in TL2), and
+    the standard treatment of opacity lets the checker complete such a
+    transaction either way.  {!candidates} enumerates the possible
+    completion choices: every live non-commit-pending transaction is
+    aborted; every commit-pending transaction is either aborted or
+    committed.  Completed-as transactions get [last_pos = max_int],
+    mirroring the fact that [com(H)] appends completion events at the end
+    of the history (so they real-time-precede nothing).
+
+    The enumeration is ordered all-aborted first (the common case) and is
+    exponential only in the number of commit-pending transactions, which is
+    bounded by the number of processes. *)
+
+val candidates : History.t -> Transaction.t list list
+(** @raise Invalid_argument when there are more than 16 commit-pending
+    transactions (no realistic history has that many). *)

@@ -1,0 +1,42 @@
+open Tm_history
+
+(* Replay the transaction's completed operations against the committed
+   [store], honouring its own earlier writes. *)
+let transaction_legal store t =
+  let rec go own = function
+    | [] -> true
+    | Transaction.O_read (x, v) :: rest ->
+        let expected =
+          match List.assoc_opt x own with
+          | Some w -> w
+          | None -> Store.get store x
+        in
+        v = expected && go own rest
+    | Transaction.O_write (x, v) :: rest -> go ((x, v) :: own) rest
+  in
+  go [] t.Transaction.ops
+
+let commit_effect store t =
+  if Transaction.is_committed t then
+    Store.apply_writes store (Transaction.writes t)
+  else store
+
+let is_sequential h =
+  let ts = Transaction.of_history h in
+  let rec pairwise = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) ->
+        (not (Transaction.concurrent a b)) && pairwise rest
+  in
+  (* Transactions are sorted by first position; in a sequential history each
+     one must precede the next, which by transitivity orders every pair. *)
+  pairwise ts
+
+let sequential_legal h =
+  let ts = Transaction.of_history h in
+  let rec go store = function
+    | [] -> true
+    | t :: rest ->
+        transaction_legal store t && go (commit_effect store t) rest
+  in
+  go Store.initial ts

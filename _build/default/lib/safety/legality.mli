@@ -1,0 +1,28 @@
+open Tm_history
+
+(** Legality of transactions in sequential histories (Section 2.4).
+
+    A transaction [T] is legal in a complete sequential history when the
+    projection [visible(T)] — the committed transactions preceding [T],
+    followed by [T] itself — respects the semantics of every t-variable:
+    each read of [x] returns the value of the transaction's own latest
+    preceding write to [x], or, absent one, the value of [x] when the
+    transaction starts (i.e. the latest committed write before it, or the
+    initial value 0). *)
+
+val transaction_legal : Store.t -> Transaction.t -> bool
+(** [transaction_legal store t] holds iff [t]'s completed operations replay
+    legally when the committed state at [t]'s start is [store]. *)
+
+val commit_effect : Store.t -> Transaction.t -> Store.t
+(** The committed state after [t], i.e. [store] updated by [t]'s completed
+    writes if [t] is committed, and [store] unchanged otherwise. *)
+
+val is_sequential : History.t -> bool
+(** [is_sequential h] holds iff no two transactions of [h] are concurrent
+    (the paper's definition of a sequential history). *)
+
+val sequential_legal : History.t -> bool
+(** [sequential_legal h] holds for a complete sequential history iff every
+    transaction in it is legal.  Replays transactions in order, threading
+    the committed store. *)

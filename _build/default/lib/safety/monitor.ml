@@ -1,0 +1,185 @@
+open Tm_history
+
+(* Epoch = number of commits applied so far.  The committed value of a
+   t-variable during epoch interval [from, next_from) is recorded in a
+   newest-first version list; every t-variable implicitly starts with
+   (0, 0).
+
+   Reads are recorded and evaluated lazily when the transaction finishes:
+   by then the version history covers the transaction's whole lifetime, so
+   the set of epochs at which the entire read set is simultaneously
+   consistent is exact. *)
+
+type txn = {
+  start_epoch : int;
+  mutable reads : (Event.tvar * Event.value) list;  (** non-own reads *)
+  mutable writes : (Event.tvar * Event.value) list;  (** latest first *)
+  mutable commit_pending : bool;
+}
+
+type t = {
+  mutable epoch : int;
+  versions : (Event.tvar, (int * Event.value) list) Hashtbl.t;
+  pending : (Event.proc, Event.invocation) Hashtbl.t;
+  txns : (Event.proc, txn) Hashtbl.t;
+  mutable failed : string option;
+}
+
+let create () =
+  {
+    epoch = 0;
+    versions = Hashtbl.create 16;
+    pending = Hashtbl.create 8;
+    txns = Hashtbl.create 8;
+    failed = None;
+  }
+
+let versions_of t x =
+  match Hashtbl.find_opt t.versions x with
+  | Some vs -> vs
+  | None -> [ (0, 0) ]
+
+(* Inclusive epoch intervals during which x held value v; [max_int] means
+   "through the present". *)
+let intervals_for t x v =
+  let rec go upper = function
+    | [] -> []
+    | (from, value) :: rest ->
+        let seg = if value = v && upper >= from then [ (from, upper) ] else [] in
+        seg @ go (from - 1) rest
+  in
+  go max_int (versions_of t x)
+
+let intersect l1 l2 =
+  List.concat_map
+    (fun (a1, b1) ->
+      List.filter_map
+        (fun (a2, b2) ->
+          let a = max a1 a2 and b = min b1 b2 in
+          if a <= b then Some (a, b) else None)
+        l2)
+    l1
+
+(* Epochs within [lo, hi] at which every read of the transaction is
+   simultaneously consistent. *)
+let candidates t txn ~lo ~hi =
+  List.fold_left
+    (fun acc (x, v) -> intersect acc (intervals_for t x v))
+    [ (lo, hi) ] txn.reads
+
+let has_point t txn ~lo ~hi = candidates t txn ~lo ~hi <> []
+
+let fresh_txn t =
+  { start_epoch = t.epoch; reads = []; writes = []; commit_pending = false }
+
+let txn_of t p =
+  match Hashtbl.find_opt t.txns p with
+  | Some txn -> txn
+  | None ->
+      let txn = fresh_txn t in
+      Hashtbl.replace t.txns p txn;
+      txn
+
+let fail t msg = if t.failed = None then t.failed <- Some msg
+
+let finish_aborted t p txn =
+  if not (has_point t txn ~lo:txn.start_epoch ~hi:t.epoch) then
+    fail t
+      (Fmt.str "aborted transaction of p%d has no consistent snapshot point"
+         p);
+  Hashtbl.remove t.txns p
+
+let finish_committed t p txn =
+  (match txn.writes with
+  | [] ->
+      if not (has_point t txn ~lo:txn.start_epoch ~hi:t.epoch) then
+        fail t
+          (Fmt.str
+             "read-only committed transaction of p%d has no consistent \
+              snapshot point"
+             p)
+  | writes ->
+      (* A committed writer serializes at its commit instant: the reads
+         must be consistent with the current committed store. *)
+      if not (has_point t txn ~lo:t.epoch ~hi:t.epoch) then
+        fail t
+          (Fmt.str
+             "committed transaction of p%d is not consistent at its commit \
+              instant"
+             p);
+      t.epoch <- t.epoch + 1;
+      (* The transaction's final value per variable is its latest write;
+         [txn.writes] is latest-first, so [assoc] finds it. *)
+      let vars = List.sort_uniq Int.compare (List.map fst writes) in
+      List.iter
+        (fun x ->
+          let v = List.assoc x txn.writes in
+          Hashtbl.replace t.versions x ((t.epoch, v) :: versions_of t x))
+        vars);
+  Hashtbl.remove t.txns p
+
+let step t e =
+  match e with
+  | Event.Inv (p, inv) -> (
+      match Hashtbl.find_opt t.pending p with
+      | Some _ -> invalid_arg "Monitor.step: pending invocation exists"
+      | None ->
+          Hashtbl.replace t.pending p inv;
+          let txn = txn_of t p in
+          if inv = Event.Try_commit then txn.commit_pending <- true)
+  | Event.Res (p, r) -> (
+      let inv =
+        match Hashtbl.find_opt t.pending p with
+        | Some i -> i
+        | None -> invalid_arg "Monitor.step: response without invocation"
+      in
+      Hashtbl.remove t.pending p;
+      let txn = txn_of t p in
+      txn.commit_pending <- false;
+      match (inv, r) with
+      | Event.Read x, Event.Value v -> (
+          match List.assoc_opt x txn.writes with
+          | Some own ->
+              if own <> v then
+                fail t
+                  (Fmt.str
+                     "p%d read %d from x%d shadowed by its own write of %d"
+                     p v x own)
+          | None -> txn.reads <- (x, v) :: txn.reads)
+      | Event.Write (x, v), Event.Ok_written ->
+          txn.writes <- (x, v) :: txn.writes
+      | Event.Try_commit, Event.Committed -> finish_committed t p txn
+      | _, Event.Aborted -> finish_aborted t p txn
+      | (Event.Read _ | Event.Write _ | Event.Try_commit), _ ->
+          invalid_arg "Monitor.step: mismatched response")
+
+type verdict = Accepted | No_witness of string
+
+let verdict t =
+  match t.failed with
+  | Some msg -> No_witness msg
+  | None ->
+      (* Close out live transactions: commit-pending ones may be taken
+         either way (committed-last or aborted); others are aborted. *)
+      let bad = ref None in
+      Hashtbl.iter
+        (fun p txn ->
+          if !bad = None then
+            let aborted_ok = has_point t txn ~lo:txn.start_epoch ~hi:t.epoch in
+            let committed_ok =
+              txn.commit_pending && has_point t txn ~lo:t.epoch ~hi:t.epoch
+            in
+            if not (aborted_ok || committed_ok) then
+              bad :=
+                Some
+                  (Fmt.str
+                     "live transaction of p%d has no consistent snapshot \
+                      point"
+                     p))
+        t.txns;
+      (match !bad with Some m -> No_witness m | None -> Accepted)
+
+let run h =
+  let t = create () in
+  List.iter (step t) (History.events h);
+  verdict t

@@ -1,0 +1,49 @@
+open Tm_history
+
+(** An online opacity monitor: a linear-time witness constructor.
+
+    The full checker ({!Opacity}) decides opacity exactly but searches over
+    serializations — fine for figures and short runs, hopeless for a
+    100 000-event simulation.  This monitor processes events one at a time
+    and maintains, per live transaction, the set of {e snapshot points} at
+    which its reads are simultaneously value-consistent with the committed
+    store.  A transaction is accepted if:
+
+    - it is read-only or aborted, and some snapshot point falls within its
+      lifetime; or
+    - it commits writes, and the commit instant itself is a valid snapshot
+      point (every read still matches the committed store, own writes
+      aside).
+
+    Accepting every transaction yields a legal, real-time-preserving
+    serialization (order transactions by their snapshot/commit points), so
+    [`Accepted] {e implies opacity} — the monitor is sound.  It is not
+    complete: an opaque history whose only witnesses reorder commits away
+    from their real-time commit order is reported as [`No_witness], never
+    as a violation.  Every single-version TM in the zoo commits in store
+    order, so their histories are all accepted; the multiversion TM's
+    read-only transactions are accepted at their (earlier) snapshot
+    points. *)
+
+type t
+
+val create : unit -> t
+
+val step : t -> Event.t -> unit
+(** Feed the next event.  @raise Invalid_argument on a non-well-formed
+    event sequence. *)
+
+type verdict =
+  | Accepted  (** a serialization witness exists: the history is opaque *)
+  | No_witness of string
+      (** the monitor's sufficient condition failed (with the first
+          offending transaction); the history may or may not be opaque —
+          fall back to {!Opacity.is_opaque} *)
+
+val verdict : t -> verdict
+(** The verdict for the events fed so far.  Live transactions are treated
+    as aborted-at-the-end (commit-pending ones as either, like the full
+    checker). *)
+
+val run : History.t -> verdict
+(** Feed a whole history. *)

@@ -1,0 +1,18 @@
+open Tm_history
+
+(* Try each completion choice (see Completion): the history is opaque iff
+   some completion has a legal real-time-preserving serialization. *)
+let serialization h =
+  List.find_map Serialize.search (Completion.candidates h)
+
+let is_opaque h = Option.is_some (serialization h)
+
+let explain h =
+  match serialization h with
+  | Some order -> Ok order
+  | None ->
+      Error
+        (Fmt.str
+           "no legal real-time-preserving serialization of any completion \
+            of H exists for:@ %a"
+           History.pp h)

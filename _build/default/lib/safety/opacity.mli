@@ -1,0 +1,28 @@
+open Tm_history
+
+(** The opacity checker (Section 2.4).
+
+    A finite history [H] is opaque iff there exists a sequential history
+    [Hs] equivalent to [com(H)] that preserves the real-time order of
+    [com(H)] and in which every transaction — including every aborted
+    one — is legal.  A TM implementation ensures opacity iff every finite
+    history it produces is opaque.
+
+    Completion: the paper's [com(H)] aborts every unfinished transaction,
+    but a transaction whose last event is a pending [tryC] may already have
+    taken effect inside the TM (helped commits, crash after write-back);
+    following the standard treatment, the checker considers {e both}
+    completions of commit-pending transactions — see {!Completion}.
+
+    The paper's running examples: Figure 1 is opaque; Figure 4 is not
+    (though strictly serializable); Figure 3 and Figure 8's terminating
+    suffix are not even strictly serializable.  All are checked in the test
+    suite. *)
+
+val is_opaque : History.t -> bool
+
+val serialization : History.t -> Transaction.t list option
+(** A witness sequential order of [com(H)]'s transactions, if one exists. *)
+
+val explain : History.t -> (Transaction.t list, string) result
+(** Like {!serialization} but with a human-readable failure message. *)

@@ -1,0 +1,33 @@
+open Tm_history
+
+let committed_transactions h =
+  List.filter Transaction.is_committed (Transaction.of_history h)
+
+(* A transaction's events are exactly its process's events between its first
+   and last global positions, so position-range membership plus the process
+   filter picks out the right subsequence. *)
+let committed_projection h =
+  let committed = committed_transactions h in
+  let events =
+    History.events h
+    |> List.mapi (fun i e -> (i, e))
+    |> List.filter (fun (i, e) ->
+           List.exists
+             (fun t ->
+               t.Transaction.proc = Event.proc e
+               && i >= t.Transaction.first_pos
+               && i <= t.Transaction.last_pos)
+             committed)
+    |> List.map snd
+  in
+  History.of_events events
+
+(* Like opacity, a commit-pending transaction may have taken effect without
+   its response being delivered, so each completion choice contributes its
+   chosen commits to Hcom. *)
+let serialization h =
+  List.find_map
+    (fun ts -> Serialize.search (List.filter Transaction.is_committed ts))
+    (Completion.candidates h)
+
+let is_strictly_serializable h = Option.is_some (serialization h)

@@ -1,0 +1,1 @@
+lib/sim/conformance.ml: Array Event Fmt History Prng Tm_history Tm_impl

@@ -1,0 +1,1 @@
+lib/sim/conformance.mli: History Tm_history Tm_impl

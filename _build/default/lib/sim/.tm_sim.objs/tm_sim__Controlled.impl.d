@@ -1,0 +1,1 @@
+lib/sim/controlled.ml: Array Event History Prng Tm_history Tm_impl Workload

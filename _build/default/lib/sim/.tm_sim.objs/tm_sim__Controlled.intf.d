@@ -1,0 +1,1 @@
+lib/sim/controlled.mli: History Tm_history Tm_impl Workload

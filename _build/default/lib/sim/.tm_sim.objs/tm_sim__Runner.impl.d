@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Event Fmt History List Prng Tm_history Tm_impl Workload

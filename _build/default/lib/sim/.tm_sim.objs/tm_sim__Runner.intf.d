@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Event Format History Tm_history Tm_impl Workload

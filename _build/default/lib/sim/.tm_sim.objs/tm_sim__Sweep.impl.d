@@ -1,0 +1,1 @@
+lib/sim/sweep.ml: Event History List Tm_history Tm_impl

@@ -1,0 +1,1 @@
+lib/sim/sweep.mli: Event History Tm_history Tm_impl

@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Event Fmt List Prng Tm_history

@@ -1,0 +1,1 @@
+lib/sim/workload.mli: Event Prng Tm_history

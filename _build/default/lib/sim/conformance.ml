@@ -1,0 +1,84 @@
+open Tm_history
+
+type violation = {
+  at_step : int;
+  message : string;
+  history_so_far : History.t;
+}
+
+let check ?(steps = 2000) ?(seed = 0) ?(patience = Some 1000) ~nprocs ~ntvars
+    entry =
+  let cfg = Tm_impl.Tm_intf.config ~seed ~nprocs ~ntvars () in
+  let tm = Tm_impl.Registry.instance entry cfg in
+  let g = Prng.create seed in
+  let history = ref History.empty in
+  let expected : Event.invocation option array = Array.make (nprocs + 1) None in
+  let streak = Array.make (nprocs + 1) 0 in
+  let error = ref None in
+  let fail step msg =
+    if !error = None then
+      error := Some { at_step = step; message = msg; history_so_far = !history }
+  in
+  (try
+     for step = 0 to steps - 1 do
+       let p = 1 + Prng.int g nprocs in
+       (* Cross-check the TM's pending view against ours. *)
+       (match (tm.Tm_impl.Tm_intf.pending p, expected.(p)) with
+       | None, Some _ ->
+           fail step (Fmt.str "pending lost for p%d" p);
+           raise Exit
+       | Some _, None ->
+           fail step (Fmt.str "phantom pending for p%d" p);
+           raise Exit
+       | Some a, Some b when not (Event.equal_invocation a b) ->
+           fail step (Fmt.str "pending mismatch for p%d" p);
+           raise Exit
+       | _ -> ());
+       match expected.(p) with
+       | None -> (
+           (* A poll without a pending invocation must return None. *)
+           match tm.Tm_impl.Tm_intf.poll p with
+           | Some _ ->
+               fail step (Fmt.str "response without invocation for p%d" p);
+               raise Exit
+           | None ->
+               let inv =
+                 match Prng.int g 4 with
+                 | 0 -> Event.Read (Prng.int g ntvars)
+                 | 1 | 2 -> Event.Write (Prng.int g ntvars, Prng.int g 5)
+                 | _ -> Event.Try_commit
+               in
+               expected.(p) <- Some inv;
+               streak.(p) <- 0;
+               history := History.append !history (Event.Inv (p, inv));
+               tm.Tm_impl.Tm_intf.invoke p inv)
+       | Some inv -> (
+           match tm.Tm_impl.Tm_intf.poll p with
+           | None -> (
+               streak.(p) <- streak.(p) + 1;
+               match patience with
+               | Some bound when streak.(p) > bound ->
+                   fail step
+                     (Fmt.str "p%d not answered within %d polls" p bound);
+                   raise Exit
+               | Some _ | None -> ())
+           | Some resp ->
+               if not (Event.matches inv resp) then begin
+                 fail step
+                   (Fmt.str "response kind mismatch for p%d (%a to %a)" p
+                      Event.pp_response resp Event.pp_invocation inv);
+                 raise Exit
+               end;
+               expected.(p) <- None;
+               streak.(p) <- 0;
+               history := History.append !history (Event.Res (p, resp)))
+     done
+   with Exit -> ());
+  match !error with
+  | Some v -> Error v
+  | None ->
+      (match History.well_formed !history with
+      | Ok () -> Ok !history
+      | Error m ->
+          Error
+            { at_step = steps; message = m; history_so_far = !history })

@@ -1,0 +1,73 @@
+open Tm_history
+
+type outcome = {
+  history : History.t;
+  committed : int array;
+  retries : int array;
+}
+
+(* Execute one complete operation against the TM on behalf of [p],
+   recording events; polls until the TM answers. *)
+let exec_op tm history p inv =
+  history := History.append !history (Event.Inv (p, inv));
+  tm.Tm_impl.Tm_intf.invoke p inv;
+  let rec wait n =
+    if n > 10_000 then failwith "controlled executor: TM not responding"
+    else
+      match tm.Tm_impl.Tm_intf.poll p with
+      | Some r ->
+          history := History.append !history (Event.Res (p, r));
+          r
+      | None -> wait (n + 1)
+  in
+  wait 0
+
+(* Run one body to completion; [`Committed] or [`Aborted] (one attempt). *)
+let attempt tm history p body =
+  let rec ops reads = function
+    | [] -> (
+        match exec_op tm history p Event.Try_commit with
+        | Event.Committed -> `Committed
+        | Event.Aborted -> `Aborted
+        | Event.Value _ | Event.Ok_written -> assert false)
+    | Workload.W_read x :: rest -> (
+        match exec_op tm history p (Event.Read x) with
+        | Event.Value v -> ops ((x, v) :: reads) rest
+        | Event.Aborted -> `Aborted
+        | Event.Ok_written | Event.Committed -> assert false)
+    | Workload.W_write (x, f) :: rest -> (
+        match exec_op tm history p (Event.Write (x, f reads)) with
+        | Event.Ok_written -> ops reads rest
+        | Event.Aborted -> `Aborted
+        | Event.Value _ | Event.Committed -> assert false)
+  in
+  ops [] body
+
+let run entry ~nprocs ~ntvars ~submissions ~workload ~seed =
+  let cfg = Tm_impl.Tm_intf.config ~seed ~nprocs ~ntvars () in
+  let tm = Tm_impl.Registry.instance entry cfg in
+  let master = Prng.create seed in
+  let prngs = Array.init (nprocs + 1) (fun _ -> Prng.split master) in
+  let history = ref History.empty in
+  let committed = Array.make (nprocs + 1) 0 in
+  let retries = Array.make (nprocs + 1) 0 in
+  (* Round-robin over the submission queues: the TM (executor) decides the
+     schedule, and it never interleaves two bodies — which is precisely
+     the control the environment gives up in this model. *)
+  for i = 0 to submissions - 1 do
+    for p = 1 to nprocs do
+      let body = workload.Workload.body prngs.(p) i in
+      let rec until_committed k =
+        if k > 1000 then
+          failwith "controlled executor: body cannot commit in isolation"
+        else
+          match attempt tm history p body with
+          | `Committed -> committed.(p) <- committed.(p) + 1
+          | `Aborted ->
+              retries.(p) <- retries.(p) + 1;
+              until_committed (k + 1)
+      in
+      until_committed 0
+    done
+  done;
+  { history = !history; committed; retries }

@@ -1,0 +1,46 @@
+open Tm_history
+
+(** The paper's second circumvention of Theorem 1 (Section 1.3, citing
+    Fetzer's robust transactional memory): let the TM {e control the
+    application} — processes hand over whole transaction bodies, and the
+    TM re-executes each body internally until it commits, scheduling the
+    re-executions itself.
+
+    This breaks the impossibility because the model changes, not because
+    the proof fails: the environment no longer chooses the interleaving of
+    individual reads and writes, so the Algorithm-1 adversary cannot
+    suspend a process between its read and its write and sneak a
+    conflicting commit in between.  Inside this model:
+
+    - every submitted transaction eventually commits ({e local progress at
+      the submission level}), because the executor can always run a body
+      in isolation;
+    - parasitic processes cannot exist (a submission is a finite body —
+      there is no way to keep executing operations without attempting to
+      commit);
+    - a crashed process simply stops submitting and obstructs nobody.
+
+    The executor here is deliberately simple: round-robin over the
+    processes' submission queues, retrying each body against the
+    underlying TM until it commits.  The FW2 experiment runs the same
+    workload whose step-level scheduling starved a process under Fgp and
+    shows every submission committing. *)
+
+type outcome = {
+  history : History.t;  (** the history of the underlying TM *)
+  committed : int array;  (** committed submissions per process *)
+  retries : int array;  (** extra executions needed per process *)
+}
+
+val run :
+  Tm_impl.Registry.entry ->
+  nprocs:int ->
+  ntvars:int ->
+  submissions:int ->
+  workload:Workload.t ->
+  seed:int ->
+  outcome
+(** Each process submits [submissions] transaction bodies drawn from the
+    workload; the executor commits them all.  @raise Failure if the
+    underlying TM cannot commit a body even in isolation (no zoo TM is
+    that broken). *)

@@ -1,0 +1,21 @@
+(** A deterministic splittable PRNG (splitmix64).
+
+    All simulation randomness flows through explicit generator values so
+    every experiment is reproducible from its seed. *)
+
+type t
+
+val create : int -> t
+val copy : t -> t
+
+val next : t -> int64
+(** The next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  [bound > 0]. *)
+
+val bool : t -> bool
+val pick : t -> 'a list -> 'a
+
+val split : t -> t
+(** An independent generator derived from (and advancing) [g]. *)

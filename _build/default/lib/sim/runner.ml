@@ -1,0 +1,296 @@
+open Tm_history
+
+type fate =
+  | Healthy
+  | Crash_at of int
+  | Parasitic_from of int
+  | Crash_after_write of int
+  | Crash_mid_commit of int
+
+type sched = Round_robin | Uniform | Quantum of int
+
+type spec = {
+  nprocs : int;
+  ntvars : int;
+  steps : int;
+  seed : int;
+  sched : sched;
+  workload : Workload.t;
+  workload_overrides : (Event.proc * Workload.t) list;
+  parasite_workload : Workload.t;
+  fates : (Event.proc * fate) list;
+}
+
+let spec ?(ntvars = 4) ?(steps = 1000) ?(seed = 0) ?(sched = Round_robin)
+    ?workload ?(workload_overrides = []) ?parasite_workload ?(fates = [])
+    ~nprocs () =
+  let workload =
+    match workload with Some w -> w | None -> Workload.counter ~ntvars
+  in
+  let parasite_workload =
+    match parasite_workload with
+    | Some w -> w
+    | None -> Workload.write_only ~ntvars ~writes:2
+  in
+  {
+    nprocs;
+    ntvars;
+    steps;
+    seed;
+    sched;
+    workload;
+    workload_overrides;
+    parasite_workload;
+    fates;
+  }
+
+type outcome = {
+  history : History.t;
+  commits : int array;
+  aborts : int array;
+  invocations : int array;
+  defers : int array;
+  final_defer_streak : int array;
+  steps_taken : int;
+}
+
+type mode = Normal | Parasite
+
+(* Per-process program state. *)
+type pstate = {
+  proc : Event.proc;
+  prng : Prng.t;
+  mutable mode : mode;
+  mutable body : Workload.op list;  (** remaining ops before tryC *)
+  mutable reads_acc : (Event.tvar * Event.value) list;  (** latest first *)
+  mutable txn_index : int;  (** committed transactions so far *)
+  mutable parasite_counter : int;
+  mutable ok_count : int;  (** write acknowledgements received, ever *)
+  mutable tryc_polls : int;  (** unanswered polls on the pending tryC *)
+}
+
+let fate_of s p =
+  match List.assoc_opt p s.fates with Some f -> f | None -> Healthy
+
+let workload_of s p =
+  match List.assoc_opt p s.workload_overrides with
+  | Some w -> w
+  | None -> s.workload
+
+let run (entry : Tm_impl.Registry.entry) s =
+  let cfg =
+    Tm_impl.Tm_intf.config ~seed:s.seed ~nprocs:s.nprocs ~ntvars:s.ntvars ()
+  in
+  let tm = Tm_impl.Registry.instance entry cfg in
+  let master = Prng.create s.seed in
+  let ps =
+    Array.init (s.nprocs + 1) (fun i ->
+        {
+          proc = i;
+          prng = Prng.split master;
+          mode = Normal;
+          body = [];
+          reads_acc = [];
+          txn_index = 0;
+          parasite_counter = 0;
+          ok_count = 0;
+          tryc_polls = 0;
+        })
+  in
+  for p = 1 to s.nprocs do
+    ps.(p).body <- (workload_of s p).Workload.body ps.(p).prng 0
+  done;
+  let history = ref History.empty in
+  let commits = Array.make (s.nprocs + 1) 0 in
+  let aborts = Array.make (s.nprocs + 1) 0 in
+  let invocations = Array.make (s.nprocs + 1) 0 in
+  let defers = Array.make (s.nprocs + 1) 0 in
+  let streak = Array.make (s.nprocs + 1) 0 in
+  let sched_prng = Prng.split master in
+  let record e = history := History.append !history e in
+
+  let dyn_crashed = Array.make (s.nprocs + 1) false in
+  let crashed tick p =
+    dyn_crashed.(p)
+    ||
+    match fate_of s p with
+    | Crash_at t -> tick >= t
+    | Healthy | Parasitic_from _ | Crash_after_write _ | Crash_mid_commit _ ->
+        false
+  in
+  let parasitic tick p =
+    match fate_of s p with
+    | Parasitic_from t -> tick >= t
+    | Healthy | Crash_at _ | Crash_after_write _ | Crash_mid_commit _ -> false
+  in
+
+  (* Start a fresh transaction body (after a commit or an abort, or when a
+     parasite exhausts its current run of operations). *)
+  let fresh_body (st : pstate) =
+    (match st.mode with
+    | Parasite ->
+        st.parasite_counter <- st.parasite_counter + 1;
+        st.body <-
+          s.parasite_workload.Workload.body st.prng st.parasite_counter
+    | Normal -> st.body <- (workload_of s st.proc).Workload.body st.prng st.txn_index);
+    st.reads_acc <- []
+  in
+
+  let handle_response p (st : pstate) inv resp =
+    record (Event.Res (p, resp));
+    match (resp : Event.response) with
+    | Event.Value v -> (
+        match (inv : Event.invocation option) with
+        | Some (Event.Read x) -> st.reads_acc <- (x, v) :: st.reads_acc
+        | Some (Event.Write _ | Event.Try_commit) | None -> ())
+    | Event.Ok_written -> (
+        st.ok_count <- st.ok_count + 1;
+        match fate_of s p with
+        | Crash_after_write n when st.ok_count >= n -> dyn_crashed.(p) <- true
+        | Healthy | Crash_at _ | Parasitic_from _ | Crash_after_write _
+        | Crash_mid_commit _ ->
+            ())
+    | Event.Committed ->
+        commits.(p) <- commits.(p) + 1;
+        st.txn_index <- st.txn_index + 1;
+        fresh_body st
+    | Event.Aborted ->
+        aborts.(p) <- aborts.(p) + 1;
+        fresh_body st
+  in
+
+  (* Emit the next invocation of p's program. *)
+  let emit p (st : pstate) =
+    let inv =
+      match st.body with
+      | Workload.W_read x :: rest ->
+          st.body <- rest;
+          Event.Read x
+      | Workload.W_write (x, f) :: rest ->
+          st.body <- rest;
+          Event.Write (x, f st.reads_acc)
+      | [] -> (
+          match st.mode with
+          | Normal -> Event.Try_commit
+          | Parasite ->
+              (* Parasites never commit: refill and recurse once (the
+                 parasite workload always produces at least one op). *)
+              fresh_body st;
+              (match st.body with
+              | Workload.W_read x :: rest ->
+                  st.body <- rest;
+                  Event.Read x
+              | Workload.W_write (x, f) :: rest ->
+                  st.body <- rest;
+                  Event.Write (x, f st.reads_acc)
+              | [] -> invalid_arg "parasite workload produced an empty body"))
+    in
+    invocations.(p) <- invocations.(p) + 1;
+    record (Event.Inv (p, inv));
+    tm.Tm_impl.Tm_intf.invoke p inv
+  in
+
+  let all_procs = List.init s.nprocs (fun i -> i + 1) in
+  let rr = ref 0 in
+  let quantum_left = ref 0 in
+  let quantum_proc = ref 0 in
+
+  let choose tick =
+    match List.filter (fun p -> not (crashed tick p)) all_procs with
+    | [] -> None
+    | procs -> (
+        let next_rr () =
+          let p = List.nth procs (!rr mod List.length procs) in
+          incr rr;
+          p
+        in
+        match s.sched with
+        | Round_robin -> Some (next_rr ())
+        | Uniform -> Some (Prng.pick sched_prng procs)
+        | Quantum q ->
+            if !quantum_left > 0 && List.mem !quantum_proc procs then begin
+              decr quantum_left;
+              Some !quantum_proc
+            end
+            else begin
+              let p = next_rr () in
+              quantum_proc := p;
+              quantum_left := q - 1;
+              Some p
+            end)
+  in
+
+  let steps_taken = ref 0 in
+  (try
+     for tick = 0 to s.steps - 1 do
+       match choose tick with
+       | None -> raise Exit
+       | Some p ->
+           incr steps_taken;
+           let st = ps.(p) in
+           (* A process turning parasitic abandons its plan to commit. *)
+           if st.mode = Normal && parasitic tick p then begin
+             st.mode <- Parasite;
+             if st.body = [] then fresh_body st
+           end;
+           let pending = tm.Tm_impl.Tm_intf.pending p in
+           (* Crash inside the commit procedure once the pending tryC has
+              gone unanswered the configured number of times. *)
+           (match (pending, fate_of s p) with
+           | Some Event.Try_commit, Crash_mid_commit n when st.tryc_polls >= n
+             ->
+               dyn_crashed.(p) <- true
+           | (Some _ | None), _ -> ());
+           if not dyn_crashed.(p) then
+             match pending with
+             | Some _ -> (
+                 match tm.Tm_impl.Tm_intf.poll p with
+                 | Some resp ->
+                     streak.(p) <- 0;
+                     st.tryc_polls <- 0;
+                     handle_response p st pending resp
+                 | None ->
+                     defers.(p) <- defers.(p) + 1;
+                     streak.(p) <- streak.(p) + 1;
+                     if pending = Some Event.Try_commit then
+                       st.tryc_polls <- st.tryc_polls + 1)
+             | None -> emit p st
+     done
+   with Exit -> ());
+  {
+    history = !history;
+    commits;
+    aborts;
+    invocations;
+    defers;
+    final_defer_streak = streak;
+    steps_taken = !steps_taken;
+  }
+
+let total a = Array.fold_left ( + ) 0 a
+let commit_total o = total o.commits
+let abort_total o = total o.aborts
+
+let throughput o =
+  if o.steps_taken = 0 then 0.0
+  else float_of_int (commit_total o) /. float_of_int o.steps_taken
+
+let blocked_procs ?(threshold = 50) o =
+  List.filteri (fun i _ -> i > 0) (Array.to_list o.final_defer_streak)
+  |> List.mapi (fun i streak -> (i + 1, streak))
+  |> List.filter_map (fun (p, streak) ->
+         if streak > threshold then Some p else None)
+
+let pp_summary ppf o =
+  let per name a =
+    Fmt.pf ppf "%s: %a (total %d)@," name
+      Fmt.(list ~sep:(any " ") int)
+      (List.tl (Array.to_list a))
+      (total a)
+  in
+  Fmt.pf ppf "@[<v>";
+  per "commits" o.commits;
+  per "aborts " o.aborts;
+  per "defers " o.defers;
+  Fmt.pf ppf "steps: %d, throughput: %.4f commits/step@]" o.steps_taken
+    (throughput o)

@@ -1,0 +1,89 @@
+open Tm_history
+
+(** The simulation runner: drives transaction programs against a TM
+    instance under an adversarial scheduler with fault injection, and
+    records the resulting history.
+
+    Each simulation step gives one process one micro-step: either its
+    program emits the next invocation, or the TM is polled on its pending
+    one.  A process whose fate is [Crash_at t] is never scheduled from step
+    [t] on (the paper's crash: its projection becomes finite, and whatever
+    its in-flight operation holds stays held).  A process with
+    [Parasitic_from t] switches at step [t] to issuing operations from the
+    parasite workload forever, never invoking [tryC] (the paper's parasitic
+    process — as long as the TM never aborts it). *)
+
+type fate =
+  | Healthy
+  | Crash_at of int  (** never scheduled from step [t] on *)
+  | Parasitic_from of int
+      (** from step [t] on, issues parasite-workload operations forever and
+          never invokes [tryC] *)
+  | Crash_after_write of int
+      (** crashes upon receiving its [n]-th [ok] response (1-based) — i.e.
+          mid-transaction, after a write; under encounter-time locking the
+          lock dies with it *)
+  | Crash_mid_commit of int
+      (** crashes once its pending [tryC] has been polled [n] times without
+          an answer — inside a multi-poll commit procedure ([n = 0] crashes
+          immediately after invoking [tryC]) *)
+
+type sched =
+  | Round_robin
+  | Uniform  (** uniformly random among alive processes *)
+  | Quantum of int  (** stay on one process for [q] steps, round-robin *)
+
+type spec = {
+  nprocs : int;
+  ntvars : int;
+  steps : int;
+  seed : int;
+  sched : sched;
+  workload : Workload.t;  (** default transaction bodies *)
+  workload_overrides : (Event.proc * Workload.t) list;
+      (** per-process overrides of [workload] *)
+  parasite_workload : Workload.t;  (** ops issued once parasitic *)
+  fates : (Event.proc * fate) list;  (** unlisted processes are healthy *)
+}
+
+val spec :
+  ?ntvars:int ->
+  ?steps:int ->
+  ?seed:int ->
+  ?sched:sched ->
+  ?workload:Workload.t ->
+  ?workload_overrides:(Event.proc * Workload.t) list ->
+  ?parasite_workload:Workload.t ->
+  ?fates:(Event.proc * fate) list ->
+  nprocs:int ->
+  unit ->
+  spec
+(** Defaults: 4 t-variables, 1000 steps, seed 0, round-robin, counter
+    workload, write-only parasite workload, all processes healthy. *)
+
+type outcome = {
+  history : History.t;
+  commits : int array;  (** per process, index 1..nprocs *)
+  aborts : int array;
+  invocations : int array;
+  defers : int array;  (** polls that returned no response *)
+  final_defer_streak : int array;
+      (** consecutive unanswered polls at the end of the run — a large
+          value on an alive process indicates it is blocked *)
+  steps_taken : int;
+}
+
+val run : Tm_impl.Registry.entry -> spec -> outcome
+
+val total : int array -> int
+val commit_total : outcome -> int
+val abort_total : outcome -> int
+
+val throughput : outcome -> float
+(** Committed transactions per simulation step. *)
+
+val blocked_procs : ?threshold:int -> outcome -> Event.proc list
+(** Alive processes whose final defer streak exceeds [threshold]
+    (default 50). *)
+
+val pp_summary : Format.formatter -> outcome -> unit

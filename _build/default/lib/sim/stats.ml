@@ -1,0 +1,46 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let percentile xs p =
+  match List.sort Float.compare xs with
+  | [] -> invalid_arg "Stats.percentile: empty series"
+  | sorted ->
+      let n = List.length sorted in
+      let rank =
+        int_of_float (Float.round (p /. 100. *. float_of_int n +. 0.5)) - 1
+      in
+      List.nth sorted (max 0 (min (n - 1) rank))
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty series"
+  | _ ->
+      let n = List.length xs in
+      let fn = float_of_int n in
+      let mean = List.fold_left ( +. ) 0. xs /. fn in
+      let var =
+        if n < 2 then 0.
+        else
+          List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs
+          /. (fn -. 1.)
+      in
+      {
+        n;
+        mean;
+        stddev = sqrt var;
+        min = List.fold_left Float.min Float.infinity xs;
+        max = List.fold_left Float.max Float.neg_infinity xs;
+        median = percentile xs 50.;
+      }
+
+let of_ints xs = summarize (List.map float_of_int xs)
+
+let pp ppf s =
+  Fmt.pf ppf "mean %.1f +/- %.1f (min %.0f, median %.0f, max %.0f, n=%d)"
+    s.mean s.stddev s.min s.median s.max s.n

@@ -1,0 +1,21 @@
+(** Small descriptive statistics for experiment series. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1) *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on an empty list. *)
+
+val of_ints : int list -> summary
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [0, 100], nearest-rank method. *)
+
+val pp : Format.formatter -> summary -> unit
+(** ["mean 12.3 ± 4.5 (min 3, median 11, max 25, n=40)"]. *)

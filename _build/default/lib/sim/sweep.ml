@@ -1,0 +1,48 @@
+open Tm_history
+
+type action = Invoke of Event.proc * Event.invocation | Poll of Event.proc
+
+let fresh entry ~nprocs ~ntvars =
+  Tm_impl.Registry.instance entry
+    (Tm_impl.Tm_intf.config ~nprocs ~ntvars ())
+
+(* Replay an action sequence on a fresh instance, recording the history. *)
+let replay entry ~nprocs ~ntvars actions =
+  let tm = fresh entry ~nprocs ~ntvars in
+  let h = ref History.empty in
+  List.iter
+    (fun a ->
+      match a with
+      | Invoke (p, inv) ->
+          tm.Tm_impl.Tm_intf.invoke p inv;
+          h := History.append !h (Event.Inv (p, inv))
+      | Poll p -> (
+          match tm.Tm_impl.Tm_intf.poll p with
+          | Some r -> h := History.append !h (Event.Res (p, r))
+          | None -> ()))
+    actions;
+  (tm, !h)
+
+let enabled tm ~nprocs ~invocations =
+  List.concat_map
+    (fun p ->
+      match tm.Tm_impl.Tm_intf.pending p with
+      | Some _ -> [ Poll p ]
+      | None -> List.map (fun inv -> Invoke (p, inv)) invocations)
+    (List.init nprocs (fun i -> i + 1))
+
+let run entry ~nprocs ~ntvars ~invocations ~depth ~on_history =
+  let rec dfs actions d =
+    let tm, h = replay entry ~nprocs ~ntvars actions in
+    on_history h actions;
+    if d > 0 then
+      List.iter
+        (fun a -> dfs (actions @ [ a ]) (d - 1))
+        (enabled tm ~nprocs ~invocations)
+  in
+  dfs [] depth
+
+let count_nodes entry ~nprocs ~ntvars ~invocations ~depth =
+  let n = ref 0 in
+  run entry ~nprocs ~ntvars ~invocations ~depth ~on_history:(fun _ _ -> incr n);
+  !n

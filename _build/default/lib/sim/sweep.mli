@@ -1,0 +1,38 @@
+open Tm_history
+
+(** Exhaustive schedule enumeration for model-checking a TM.
+
+    Enumerates {e every} interleaving of up to [depth] scheduler actions —
+    at each step each process either polls its pending operation or issues
+    any invocation from the given menu — and hands each reached history to
+    the callback.  Because TM implementations are mutable and a poll can
+    advance internal state without emitting an event (multi-poll commits),
+    nodes are identified by {e action} sequences and replayed on fresh
+    instances; O(depth) per node, irrelevant at the depths that are
+    feasible anyway (the tree has ~[(nprocs * |invocations|)^depth]
+    nodes).
+
+    Combined with the linear-time {!Tm_safety.Monitor} this gives a small
+    bounded model checker: [Sweep.run] over all schedules, monitor each
+    history, fall back to the exact checker on the rare [No_witness]. *)
+
+type action = Invoke of Event.proc * Event.invocation | Poll of Event.proc
+
+val run :
+  Tm_impl.Registry.entry ->
+  nprocs:int ->
+  ntvars:int ->
+  invocations:Event.invocation list ->
+  depth:int ->
+  on_history:(History.t -> action list -> unit) ->
+  unit
+(** [on_history] is called on every node (including internal ones) with
+    the recorded history and the action sequence that produced it. *)
+
+val count_nodes :
+  Tm_impl.Registry.entry ->
+  nprocs:int ->
+  ntvars:int ->
+  invocations:Event.invocation list ->
+  depth:int ->
+  int

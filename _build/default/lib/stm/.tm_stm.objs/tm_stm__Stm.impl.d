@@ -1,0 +1,1 @@
+lib/stm/stm.ml: Atomic Domain Int List Option

@@ -1,0 +1,1 @@
+lib/stm/stm_lock.ml: Atomic Domain Mutex

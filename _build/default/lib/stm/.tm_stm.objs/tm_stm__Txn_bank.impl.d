@@ -1,0 +1,1 @@
+lib/stm/txn_bank.ml: Array Stm

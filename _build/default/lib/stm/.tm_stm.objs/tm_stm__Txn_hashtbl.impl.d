@@ -1,0 +1,1 @@
+lib/stm/txn_hashtbl.ml: Array Hashtbl List Stm

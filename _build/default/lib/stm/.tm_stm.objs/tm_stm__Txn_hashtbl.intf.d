@@ -1,0 +1,1 @@
+lib/stm/txn_hashtbl.mli:

@@ -1,0 +1,1 @@
+lib/stm/txn_queue.ml: List Stm

@@ -1,0 +1,222 @@
+(* TL2 over OCaml 5 atomics.
+
+   Each t-variable carries a versioned lock word [vlock]: even = unlocked,
+   value is (version << 1); odd = locked by a committing transaction.
+   Readers use the classic seqlock protocol (read vlock, read content, read
+   vlock again) and validate against the transaction's read version.
+
+   Type erasure for the heterogeneous read/write sets uses the universal
+   type trick: every t-variable carries its own injection/projection pair
+   built from a locally generated extensible-variant constructor, so no
+   [Obj] is needed. *)
+
+type univ = exn
+
+type 'a tvar = {
+  id : int;
+  content : 'a Atomic.t;
+  vlock : int Atomic.t;
+  inj : 'a -> univ;
+  proj : univ -> 'a option;
+}
+
+let next_id = Atomic.make 0
+let clock = Atomic.make 0
+let commit_count = Atomic.make 0
+let abort_count = Atomic.make 0
+
+let tvar (type a) (init : a) : a tvar =
+  let module M = struct
+    exception E of a
+  end in
+  {
+    id = Atomic.fetch_and_add next_id 1;
+    content = Atomic.make init;
+    vlock = Atomic.make 0;
+    inj = (fun x -> M.E x);
+    proj = (function M.E x -> Some x | _ -> None);
+  }
+
+exception Retry
+exception Conflict
+
+(* Write-set entry: the pending value plus closures for the commit
+   protocol (lock, validate-ownership, publish, unlock). *)
+type wentry = {
+  w_id : int;
+  mutable value : univ;
+  try_lock : unit -> bool;
+  unlock : unit -> unit;
+  publish : univ -> int -> unit;
+}
+
+type rentry = { r_id : int; check : rv:int -> owned:(int -> bool) -> bool }
+
+type txn = {
+  mutable rv : int;
+  mutable reads : rentry list;
+  mutable writes : wentry list;  (** unordered; sorted by id at commit *)
+}
+
+let current : txn option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let locked v = v land 1 = 1
+let version_of v = v lsr 1
+
+let read_vlock tv = Atomic.get tv.vlock
+
+let try_lock_tvar tv =
+  let v = read_vlock tv in
+  (not (locked v)) && Atomic.compare_and_set tv.vlock v (v lor 1)
+
+let unlock_tvar tv =
+  let v = read_vlock tv in
+  if locked v then Atomic.set tv.vlock (v land lnot 1)
+
+let publish_tvar (type a) (tv : a tvar) u wv =
+  (match tv.proj u with
+  | Some x -> Atomic.set tv.content x
+  | None -> assert false);
+  Atomic.set tv.vlock (wv lsl 1)
+
+let wentry_of tv =
+  {
+    w_id = tv.id;
+    value = tv.inj (Atomic.get tv.content) (* overwritten before use *);
+    try_lock = (fun () -> try_lock_tvar tv);
+    unlock = (fun () -> unlock_tvar tv);
+    publish = (fun u wv -> publish_tvar tv u wv);
+  }
+
+let rentry_of tv seen_version =
+  {
+    r_id = tv.id;
+    check =
+      (fun ~rv ~owned ->
+        let v = read_vlock tv in
+        let ok_lock = (not (locked v)) || owned tv.id in
+        ok_lock && version_of v <= rv && version_of v = seen_version);
+  }
+
+let in_transaction () = Option.is_some !(Domain.DLS.get current)
+
+(* Direct (non-transactional) atomic snapshot read. *)
+let rec snapshot_read tv =
+  let v1 = read_vlock tv in
+  if locked v1 then begin
+    Domain.cpu_relax ();
+    snapshot_read tv
+  end
+  else
+    let x = Atomic.get tv.content in
+    if read_vlock tv = v1 then x
+    else begin
+      Domain.cpu_relax ();
+      snapshot_read tv
+    end
+
+let read (type a) (tv : a tvar) : a =
+  match !(Domain.DLS.get current) with
+  | None -> snapshot_read tv
+  | Some txn -> (
+      (* Read-own-write. *)
+      match List.find_opt (fun w -> w.w_id = tv.id) txn.writes with
+      | Some w -> (
+          match tv.proj w.value with Some x -> x | None -> assert false)
+      | None ->
+          let v1 = read_vlock tv in
+          if locked v1 || version_of v1 > txn.rv then raise Conflict;
+          let x = Atomic.get tv.content in
+          if read_vlock tv <> v1 then raise Conflict;
+          txn.reads <- rentry_of tv (version_of v1) :: txn.reads;
+          x)
+
+let write (type a) (tv : a tvar) (x : a) : unit =
+  match !(Domain.DLS.get current) with
+  | None -> invalid_arg "Stm.write outside a transaction"
+  | Some txn -> (
+      match List.find_opt (fun w -> w.w_id = tv.id) txn.writes with
+      | Some w -> w.value <- tv.inj x
+      | None ->
+          let w = wentry_of tv in
+          w.value <- tv.inj x;
+          txn.writes <- w :: txn.writes)
+
+let retry () = raise Retry
+
+let commit txn =
+  match txn.writes with
+  | [] -> () (* read-only: reads were validated against rv as they happened *)
+  | writes ->
+      let ws =
+        List.sort_uniq (fun a b -> Int.compare a.w_id b.w_id) writes
+      in
+      (* Lock in canonical order; back out on failure. *)
+      let rec lock_all acquired = function
+        | [] -> List.rev acquired
+        | w :: rest ->
+            if w.try_lock () then lock_all (w :: acquired) rest
+            else begin
+              List.iter (fun a -> a.unlock ()) acquired;
+              raise Conflict
+            end
+      in
+      let acquired = lock_all [] ws in
+      let wv = Atomic.fetch_and_add clock 1 + 1 in
+      let owned id = List.exists (fun w -> w.w_id = id) ws in
+      let valid =
+        List.for_all (fun r -> r.check ~rv:txn.rv ~owned) txn.reads
+      in
+      if not valid then begin
+        List.iter (fun w -> w.unlock ()) acquired;
+        raise Conflict
+      end;
+      List.iter (fun w -> w.publish w.value wv) acquired
+
+let backoff attempts prng_state =
+  let bound = 1 lsl min attempts 10 in
+  let spins = 1 + (!prng_state * 1103515245 + 12345) land 0x3FFFFFFF in
+  prng_state := spins;
+  for _ = 1 to spins mod bound do
+    Domain.cpu_relax ()
+  done
+
+let atomically (type a) (f : unit -> a) : a =
+  let slot = Domain.DLS.get current in
+  match !slot with
+  | Some _ -> f () (* flat nesting: join the enclosing transaction *)
+  | None ->
+      let prng_state = ref (Domain.self () :> int) in
+      let rec attempt n =
+        let txn = { rv = Atomic.get clock; reads = []; writes = [] } in
+        slot := Some txn;
+        match f () with
+        | result -> (
+            try
+              commit txn;
+              slot := None;
+              Atomic.incr commit_count;
+              result
+            with Conflict ->
+              slot := None;
+              Atomic.incr abort_count;
+              backoff n prng_state;
+              attempt (n + 1))
+        | exception Conflict ->
+            slot := None;
+            Atomic.incr abort_count;
+            backoff n prng_state;
+            attempt (n + 1)
+        | exception Retry ->
+            slot := None;
+            Atomic.incr abort_count;
+            backoff (n + 2) prng_state;
+            attempt (n + 1)
+        | exception e ->
+            slot := None;
+            raise e
+      in
+      attempt 0
+
+let stats () = (Atomic.get commit_count, Atomic.get abort_count)

@@ -1,0 +1,56 @@
+(** A real software transactional memory for OCaml 5 (multicore).
+
+    TL2-style: a global version clock, per-t-variable versioned spinlocks,
+    deferred updates, commit-time lock acquisition in canonical order and
+    read-set validation — the same algorithm as the simulated [Tl2] of the
+    zoo, here running on actual domains with [Atomic].
+
+    Consistently with the paper's impossibility result (no TM ensures
+    opacity and local progress in a fault-prone system), this runtime makes
+    no per-transaction progress guarantee: a transaction may be aborted and
+    retried an unbounded number of times under contention.  What it does
+    ensure is opacity — every transaction, even one about to abort, sees a
+    consistent snapshot — and, in the terms of Section 3.2.3, solo progress
+    in crash-free systems (a stalled domain holding commit locks blocks
+    conflicting commits; parasitic domains hold nothing).
+
+    Usage:
+    {[
+      let acc1 = Stm.tvar 100 and acc2 = Stm.tvar 0 in
+      Stm.atomically (fun () ->
+          let v = Stm.read acc1 in
+          Stm.write acc1 (v - 10);
+          Stm.write acc2 (Stm.read acc2 + 10))
+    ]} *)
+
+type 'a tvar
+
+val tvar : 'a -> 'a tvar
+(** A fresh transactional variable with the given initial value. *)
+
+val atomically : (unit -> 'a) -> 'a
+(** Run the function as a transaction: reads/writes of t-variables inside
+    it are isolated and take effect atomically at commit.  On conflict the
+    transaction is rolled back and re-executed (with randomized exponential
+    backoff).  Nesting is flattened: an [atomically] inside a transaction
+    joins the enclosing one. *)
+
+val read : 'a tvar -> 'a
+(** Inside a transaction: a validated transactional read.  Outside: an
+    atomic snapshot read. *)
+
+val write : 'a tvar -> 'a -> unit
+(** Inside a transaction: a deferred transactional write.
+    @raise Invalid_argument outside a transaction. *)
+
+exception Retry
+(** User-requested retry: {!retry} aborts the current attempt and re-runs
+    the transaction from the start (after backoff).  The classic
+    busy-waiting [retry] — there is no parking. *)
+
+val retry : unit -> 'a
+
+val in_transaction : unit -> bool
+
+val stats : unit -> int * int
+(** [(commits, aborts)] since program start, summed over all domains. *)

@@ -1,0 +1,38 @@
+type 'a tvar = 'a ref
+
+let lock = Mutex.create ()
+let commit_count = Atomic.make 0
+
+let depth : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let tvar v = ref v
+
+let in_transaction () = !(Domain.DLS.get depth) > 0
+
+let atomically f =
+  let d = Domain.DLS.get depth in
+  if !d > 0 then f () (* flat nesting *)
+  else begin
+    Mutex.lock lock;
+    incr d;
+    match f () with
+    | result ->
+        decr d;
+        Mutex.unlock lock;
+        Atomic.incr commit_count;
+        result
+    | exception e ->
+        decr d;
+        Mutex.unlock lock;
+        raise e
+  end
+
+let read tv =
+  if in_transaction () then !tv
+  else atomically (fun () -> !tv)
+
+let write tv v =
+  if in_transaction () then tv := v
+  else invalid_arg "Stm_lock.write outside a transaction"
+
+let commits () = Atomic.get commit_count

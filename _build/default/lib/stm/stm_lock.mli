@@ -1,0 +1,24 @@
+(** The global-lock STM, for real hardware.
+
+    The same API as {!Stm}, implemented with one global mutex: every
+    transaction runs under it, so nothing ever aborts and — in a crash-free,
+    parasitic-free process — every transaction commits on its first attempt
+    (the paper's §1.1/§3.2.1 observation that a fair global lock gives
+    local progress when nobody is faulty).
+
+    The price is the paper's footnote 1 (Amdahl): transactions wait for
+    each other, so throughput cannot scale with cores.  The P3 experiment
+    in the bench harness measures exactly this against the resilient
+    TL2-style {!Stm} runtime: disjoint-access workloads scale on {!Stm}
+    and stay flat here. *)
+
+type 'a tvar
+
+val tvar : 'a -> 'a tvar
+val atomically : (unit -> 'a) -> 'a
+val read : 'a tvar -> 'a
+val write : 'a tvar -> 'a -> unit
+val in_transaction : unit -> bool
+
+val commits : unit -> int
+(** Transactions executed so far (every one commits). *)

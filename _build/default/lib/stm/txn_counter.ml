@@ -1,0 +1,7 @@
+type t = int Stm.tvar
+
+let make n = Stm.tvar n
+
+let add t k = Stm.atomically (fun () -> Stm.write t (Stm.read t + k))
+let incr t = add t 1
+let get t = Stm.read t

@@ -1,0 +1,11 @@
+(** A transactional counter. *)
+
+type t
+
+val make : int -> t
+
+val incr : t -> unit
+(** Composable: joins an enclosing transaction if one is active. *)
+
+val add : t -> int -> unit
+val get : t -> int

@@ -1,0 +1,27 @@
+type 'a t = (int * 'a) list Stm.tvar array
+
+let make ?(buckets = 64) () = Array.init buckets (fun _ -> Stm.tvar [])
+
+let bucket t k = t.(abs (Hashtbl.hash k) mod Array.length t)
+
+let set t k v =
+  Stm.atomically (fun () ->
+      let b = bucket t k in
+      Stm.write b ((k, v) :: List.remove_assoc k (Stm.read b)))
+
+let find t k =
+  Stm.atomically (fun () -> List.assoc_opt k (Stm.read (bucket t k)))
+
+let remove t k =
+  Stm.atomically (fun () ->
+      let b = bucket t k in
+      let l = Stm.read b in
+      if List.mem_assoc k l then begin
+        Stm.write b (List.remove_assoc k l);
+        true
+      end
+      else false)
+
+let length t =
+  Stm.atomically (fun () ->
+      Array.fold_left (fun acc b -> acc + List.length (Stm.read b)) 0 t)

@@ -1,0 +1,17 @@
+(** A transactional fixed-bucket hash table with integer keys.
+
+    Buckets are association lists held in t-variables; operations touch a
+    single bucket, so transactions on different buckets never conflict. *)
+
+type 'a t
+
+val make : ?buckets:int -> unit -> 'a t
+
+val set : 'a t -> int -> 'a -> unit
+val find : 'a t -> int -> 'a option
+
+val remove : 'a t -> int -> bool
+(** Whether the key was present. *)
+
+val length : 'a t -> int
+(** Consistent snapshot count. *)

@@ -1,0 +1,163 @@
+(* AVL with one t-variable per child pointer.  The tree is manipulated
+   functionally within a transaction: nodes reached along the search path
+   are re-linked via writes to the parent t-variable; rotations allocate
+   fresh t-variables for the moved links, which is fine — the old ones
+   simply become garbage. *)
+
+type 'a node = Leaf | Node of 'a cell
+
+and 'a cell = {
+  key : int;
+  value : 'a Stm.tvar;
+  left : 'a node Stm.tvar;
+  right : 'a node Stm.tvar;
+  height : int;
+}
+
+type 'a t = 'a node Stm.tvar
+
+let make () = Stm.tvar Leaf
+
+let height = function Leaf -> 0 | Node c -> c.height
+
+let mk key value left right =
+  let hl = height left and hr = height right in
+  Node
+    {
+      key;
+      value = Stm.tvar value;
+      left = Stm.tvar left;
+      right = Stm.tvar right;
+      height = 1 + max hl hr;
+    }
+
+(* Rebuild a node from (possibly new) children, rebalancing if needed.
+   Children are passed by value (already read). *)
+let balance key value left right =
+  let hl = height left and hr = height right in
+  if hl > hr + 1 then
+    match left with
+    | Leaf -> assert false
+    | Node lc ->
+        let ll = Stm.read lc.left and lr = Stm.read lc.right in
+        if height ll >= height lr then
+          (* Right rotation. *)
+          mk lc.key (Stm.read lc.value) ll (mk key value lr right)
+        else (
+          (* Left-right rotation. *)
+          match lr with
+          | Leaf -> assert false
+          | Node lrc ->
+              mk lrc.key
+                (Stm.read lrc.value)
+                (mk lc.key (Stm.read lc.value) ll (Stm.read lrc.left))
+                (mk key value (Stm.read lrc.right) right))
+  else if hr > hl + 1 then
+    match right with
+    | Leaf -> assert false
+    | Node rc ->
+        let rl = Stm.read rc.left and rr = Stm.read rc.right in
+        if height rr >= height rl then
+          (* Left rotation. *)
+          mk rc.key (Stm.read rc.value) (mk key value left rl) rr
+        else (
+          match rl with
+          | Leaf -> assert false
+          | Node rlc ->
+              mk rlc.key
+                (Stm.read rlc.value)
+                (mk key value left (Stm.read rlc.left))
+                (mk rc.key (Stm.read rc.value) (Stm.read rlc.right) rr))
+  else mk key value left right
+
+let set t k v =
+  Stm.atomically (fun () ->
+      let rec insert node =
+        match node with
+        | Leaf -> mk k v Leaf Leaf
+        | Node c ->
+            if k = c.key then begin
+              Stm.write c.value v;
+              node
+            end
+            else if k < c.key then
+              let left' = insert (Stm.read c.left) in
+              balance c.key (Stm.read c.value) left' (Stm.read c.right)
+            else
+              let right' = insert (Stm.read c.right) in
+              balance c.key (Stm.read c.value) (Stm.read c.left) right'
+      in
+      Stm.write t (insert (Stm.read t)))
+
+let find t k =
+  Stm.atomically (fun () ->
+      let rec go = function
+        | Leaf -> None
+        | Node c ->
+            if k = c.key then Some (Stm.read c.value)
+            else if k < c.key then go (Stm.read c.left)
+            else go (Stm.read c.right)
+      in
+      go (Stm.read t))
+
+(* Remove the minimum binding of a non-empty tree; returns (key, value,
+   remaining tree). *)
+let rec take_min = function
+  | Leaf -> assert false
+  | Node c -> (
+      match Stm.read c.left with
+      | Leaf -> (c.key, Stm.read c.value, Stm.read c.right)
+      | left ->
+          let k, v, left' = take_min left in
+          (k, v, balance c.key (Stm.read c.value) left' (Stm.read c.right)))
+
+let remove t k =
+  Stm.atomically (fun () ->
+      let removed = ref false in
+      let rec go node =
+        match node with
+        | Leaf -> Leaf
+        | Node c ->
+            if k = c.key then begin
+              removed := true;
+              match (Stm.read c.left, Stm.read c.right) with
+              | Leaf, right -> right
+              | left, Leaf -> left
+              | left, right ->
+                  let k', v', right' = take_min right in
+                  balance k' v' left right'
+            end
+            else if k < c.key then
+              balance c.key (Stm.read c.value) (go (Stm.read c.left))
+                (Stm.read c.right)
+            else
+              balance c.key (Stm.read c.value) (Stm.read c.left)
+                (go (Stm.read c.right))
+      in
+      Stm.write t (go (Stm.read t));
+      !removed)
+
+let bindings t =
+  Stm.atomically (fun () ->
+      let rec go acc = function
+        | Leaf -> acc
+        | Node c ->
+            let acc = go acc (Stm.read c.right) in
+            go ((c.key, Stm.read c.value) :: acc) (Stm.read c.left)
+      in
+      go [] (Stm.read t))
+
+let cardinal t = List.length (bindings t)
+
+let check_balanced t =
+  Stm.atomically (fun () ->
+      let rec go = function
+        | Leaf -> Some 0
+        | Node c -> (
+            match (go (Stm.read c.left), go (Stm.read c.right)) with
+            | Some hl, Some hr
+              when abs (hl - hr) <= 1 && c.height = 1 + max hl hr ->
+                Some c.height
+            | _ -> None)
+      in
+      go (Stm.read t) <> None)

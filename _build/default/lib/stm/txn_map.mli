@@ -1,0 +1,26 @@
+(** A transactional ordered map (AVL tree with integer keys).
+
+    Every node lives in its own t-variable, so lookups of disjoint subtrees
+    never conflict and all operations compose with an enclosing
+    transaction.  Insertion and removal rebalance along the search path
+    (standard AVL rotations), giving O(log n) t-variable touches per
+    operation. *)
+
+type 'a t
+
+val make : unit -> 'a t
+
+val set : 'a t -> int -> 'a -> unit
+val find : 'a t -> int -> 'a option
+
+val remove : 'a t -> int -> bool
+(** Whether the key was present. *)
+
+val cardinal : 'a t -> int
+
+val bindings : 'a t -> (int * 'a) list
+(** A consistent snapshot, ascending by key. *)
+
+val check_balanced : 'a t -> bool
+(** AVL invariant: every node's subtree heights differ by at most one and
+    stored heights are correct (used by the tests). *)

@@ -1,0 +1,16 @@
+(** A transactional FIFO queue (two-list functional queue in t-variables). *)
+
+type 'a t
+
+val make : unit -> 'a t
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** [None] when empty. *)
+
+val pop_blocking : 'a t -> 'a
+(** Retries the transaction until an element is available (busy-wait
+    retry; see {!Stm.retry}). *)
+
+val length : 'a t -> int
+val to_list : 'a t -> 'a list

@@ -1,0 +1,1 @@
+lib/tm/cm.ml: Event Fmt List Tm_history

@@ -1,0 +1,1 @@
+lib/tm/cm.mli: Event Tm_history

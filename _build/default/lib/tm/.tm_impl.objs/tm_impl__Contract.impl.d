@@ -1,0 +1,1 @@
+lib/tm/contract.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/tm/dstm.ml: Array Cm Event List Tm_history Tm_intf

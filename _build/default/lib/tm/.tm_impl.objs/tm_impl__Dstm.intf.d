@@ -1,0 +1,1 @@
+lib/tm/dstm.mli: Cm Tm_intf

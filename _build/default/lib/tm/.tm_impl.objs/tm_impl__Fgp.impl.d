@@ -1,0 +1,1 @@
+lib/tm/fgp.ml: Array Event Fmt List Stdlib Tm_history Tm_intf

@@ -1,0 +1,1 @@
+lib/tm/fgp.mli: Event Format Tm_history Tm_intf

@@ -1,0 +1,1 @@
+lib/tm/fgp_priority.ml: Array Event Tm_history Tm_intf

@@ -1,0 +1,1 @@
+lib/tm/fgp_priority.mli: Event Tm_history Tm_intf

@@ -1,0 +1,1 @@
+lib/tm/global_lock.ml: Array Event Queue Tm_history Tm_intf

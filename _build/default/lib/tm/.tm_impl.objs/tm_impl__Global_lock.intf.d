@@ -1,0 +1,1 @@
+lib/tm/global_lock.mli: Tm_intf

@@ -1,0 +1,1 @@
+lib/tm/mvstm.ml: Array Event Int List Tm_history Tm_intf

@@ -1,0 +1,1 @@
+lib/tm/mvstm.mli: Tm_intf

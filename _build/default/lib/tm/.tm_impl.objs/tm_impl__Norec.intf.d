@@ -1,0 +1,1 @@
+lib/tm/norec.mli: Tm_intf

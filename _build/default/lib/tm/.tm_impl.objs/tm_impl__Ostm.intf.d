@@ -1,0 +1,1 @@
+lib/tm/ostm.mli: Tm_intf

@@ -1,0 +1,1 @@
+lib/tm/quiescent.ml: Array Event List Tm_history Tm_intf

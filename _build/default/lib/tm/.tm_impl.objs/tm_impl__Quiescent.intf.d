@@ -1,0 +1,1 @@
+lib/tm/quiescent.mli: Tm_intf

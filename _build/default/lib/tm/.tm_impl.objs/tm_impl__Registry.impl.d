@@ -1,0 +1,1 @@
+lib/tm/registry.ml: Cm Dstm Fgp Fgp_priority Global_lock List Mvstm Norec Ostm Quiescent Swisstm Tinystm Tl2 Tm_intf Twopl

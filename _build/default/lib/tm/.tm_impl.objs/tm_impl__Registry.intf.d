@@ -1,0 +1,1 @@
+lib/tm/registry.mli: Tm_intf

@@ -1,0 +1,1 @@
+lib/tm/swisstm.ml: Array Event Int List Tm_history Tm_intf

@@ -1,0 +1,1 @@
+lib/tm/swisstm.mli: Tm_intf

@@ -1,0 +1,1 @@
+lib/tm/tinystm.ml: Array Event List Tm_history Tm_intf

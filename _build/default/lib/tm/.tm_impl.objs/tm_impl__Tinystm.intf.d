@@ -1,0 +1,1 @@
+lib/tm/tinystm.mli: Tm_intf

@@ -1,0 +1,1 @@
+lib/tm/tl2.mli: Tm_intf

@@ -1,0 +1,1 @@
+lib/tm/tm_intf.ml: Array Event Fmt Tm_history

@@ -1,0 +1,1 @@
+lib/tm/twopl.mli: Tm_intf

@@ -1,0 +1,24 @@
+(** A DSTM-style obstruction-free TM with ownership stealing (Herlihy,
+    Luchangco, Moir, Scherer, PODC 2003 — reference [14] of the paper).
+
+    A writer acquires {e revocable ownership} of each t-variable it
+    updates; a conflicting transaction may abort ("doom") the owner and
+    take the ownership, as arbitrated by a pluggable contention manager
+    ({!Cm}).  Commit is a single atomic step, so a crashed process never
+    leaves an unrevocable obstruction — whatever it owned can be stolen.
+    Reads are invisible and value-validated on every operation, giving
+    opacity.
+
+    Progress character (Section 3.2.3): ensures solo progress in
+    {e parasitic-free} systems (crashes are harmless because ownership is
+    revocable); a parasitic writer under a conservative contention manager
+    (polite/karma) can starve a solo runner, while an aggressive manager
+    merely converts the parasite into an ever-aborted — hence correct —
+    process. *)
+
+val make : Cm.t -> (module Tm_intf.S)
+(** A DSTM variant using the given contention manager; its [name] is
+    ["dstm-" ^ cm_name]. *)
+
+include Tm_intf.S
+(** The default variant (aggressive contention manager). *)

@@ -1,0 +1,76 @@
+open Tm_history
+
+type t = {
+  cfg : Tm_intf.config;
+  mail : Tm_intf.Mailbox.t;
+  store : int array;  (** current values; only the lock holder touches them *)
+  mutable owner : Event.proc option;
+  queue : Event.proc Queue.t;  (** FIFO of processes waiting for the lock *)
+  waiting : bool array;  (** waiting.(p): p is already enqueued *)
+}
+
+let name = "global-lock"
+
+let describe =
+  "single fair global lock; never aborts; blocks while the lock is held \
+   (local progress iff crash-free and parasitic-free)"
+
+let create cfg =
+  {
+    cfg;
+    mail = Tm_intf.Mailbox.create cfg;
+    store = Array.make cfg.ntvars 0;
+    owner = None;
+    queue = Queue.create ();
+    waiting = Array.make (cfg.nprocs + 1) false;
+  }
+
+let invoke t p inv =
+  Tm_intf.Mailbox.check_range t.cfg p inv;
+  Tm_intf.Mailbox.put t.mail p inv
+
+let holds_lock t p = t.owner = Some p
+
+(* Hand the lock to the next waiter, if any. *)
+let release t =
+  t.owner <- None;
+  match Queue.take_opt t.queue with
+  | None -> ()
+  | Some q ->
+      t.waiting.(q) <- false;
+      t.owner <- Some q
+
+let try_acquire t p =
+  match t.owner with
+  | Some q when q = p -> true
+  | Some _ ->
+      if not t.waiting.(p) then begin
+        t.waiting.(p) <- true;
+        Queue.add p t.queue
+      end;
+      false
+  | None ->
+      t.owner <- Some p;
+      true
+
+let poll t p =
+  match Tm_intf.Mailbox.get t.mail p with
+  | None -> None
+  | Some inv ->
+      if not (holds_lock t p || try_acquire t p) then None
+      else begin
+        let resp =
+          match inv with
+          | Event.Read x -> Event.Value t.store.(x)
+          | Event.Write (x, v) ->
+              t.store.(x) <- v;
+              Event.Ok_written
+          | Event.Try_commit ->
+              release t;
+              Event.Committed
+        in
+        Tm_intf.Mailbox.clear t.mail p;
+        Some resp
+      end
+
+let pending t p = Tm_intf.Mailbox.get t.mail p

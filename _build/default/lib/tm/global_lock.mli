@@ -1,0 +1,16 @@
+(** The single-global-lock TM of Section 1.1 / Section 3.2.1.
+
+    Every transaction runs under one fair (FIFO) global lock, so
+    transactions never conflict and {e no transaction is ever aborted}.
+    In a system that is both crash-free and parasitic-free this TM ensures
+    opacity and local progress — the paper's observation that local
+    progress is achievable when nobody is faulty.
+
+    The price is blocking: a process that asks for the lock while it is
+    held gets no response ([poll] returns [None]) until the holder commits.
+    A crashed lock holder therefore blocks every other process forever, and
+    a parasitic holder never commits, which is exactly how this TM escapes
+    the Theorem-1 impossibility (it is not responsive, i.e. its operations
+    are not wait-free). *)
+
+include Tm_intf.S

@@ -1,0 +1,15 @@
+(** A multiversion TM: reads never abort.
+
+    Every commit installs a new version of the written t-variables; a read
+    returns the newest version no newer than the transaction's snapshot, so
+    reads — and therefore read-only transactions — always succeed.  Update
+    transactions validate at commit time (first-committer-wins, TL2-style
+    commit locking), so the Theorem-1 adversary still starves its victim:
+    multiversioning buys read-only progress, not local progress, exactly
+    as the impossibility result demands.
+
+    Progress character: solo progress in crash-free systems (commit-time
+    locks, like TL2), with the bonus that parasitic or suspended {e
+    readers} never disturb anyone and are never disturbed. *)
+
+include Tm_intf.S

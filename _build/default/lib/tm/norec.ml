@@ -1,0 +1,135 @@
+open Tm_history
+
+type commit_phase =
+  | Idle
+  | Writing_back of (Event.tvar * Event.value) list
+
+type txn = {
+  mutable started : bool;
+  mutable snapshot : int;
+  mutable reads : (Event.tvar * Event.value) list;
+  mutable writes : (Event.tvar * Event.value) list;  (** latest first *)
+  mutable phase : commit_phase;
+}
+
+type t = {
+  cfg : Tm_intf.config;
+  mail : Tm_intf.Mailbox.t;
+  mutable counter : int;  (** bumped by every writer commit *)
+  mutable writer : Event.proc option;  (** holder of the commit lock *)
+  value : int array;
+  txns : txn array;
+}
+
+let name = "norec"
+
+let describe =
+  "NOrec-style: single commit lock, value-based validation (solo progress \
+   in crash-free systems)"
+
+let fresh_txn () =
+  { started = false; snapshot = 0; reads = []; writes = []; phase = Idle }
+
+let create cfg =
+  {
+    cfg;
+    mail = Tm_intf.Mailbox.create cfg;
+    counter = 0;
+    writer = None;
+    value = Array.make cfg.ntvars 0;
+    txns = Array.init (cfg.nprocs + 1) (fun _ -> fresh_txn ());
+  }
+
+let invoke t p inv =
+  Tm_intf.Mailbox.check_range t.cfg p inv;
+  Tm_intf.Mailbox.put t.mail p inv
+
+let begin_if_needed t p =
+  let txn = t.txns.(p) in
+  if not txn.started then begin
+    txn.started <- true;
+    txn.snapshot <- t.counter;
+    txn.reads <- [];
+    txn.writes <- [];
+    txn.phase <- Idle
+  end
+
+let abort t p =
+  if t.writer = Some p then t.writer <- None;
+  t.txns.(p) <- fresh_txn ();
+  Event.Aborted
+
+(* Re-validate the read set by value; on success adopt the current
+   snapshot. *)
+let revalidate t p =
+  let txn = t.txns.(p) in
+  if List.for_all (fun (x, v) -> t.value.(x) = v) txn.reads then begin
+    txn.snapshot <- t.counter;
+    true
+  end
+  else false
+
+let write_set txn =
+  List.sort_uniq Int.compare (List.map fst txn.writes)
+  |> List.map (fun x -> (x, List.assoc x txn.writes))
+
+let poll t p =
+  match Tm_intf.Mailbox.get t.mail p with
+  | None -> None
+  | Some inv ->
+      begin_if_needed t p;
+      let txn = t.txns.(p) in
+      let answer resp =
+        Tm_intf.Mailbox.clear t.mail p;
+        Some resp
+      in
+      (match inv with
+      | Event.Read x -> (
+          match List.assoc_opt x txn.writes with
+          | Some v -> answer (Event.Value v)
+          | None ->
+              (* Wait out an in-flight writer: its write-back is not an
+                 atomic snapshot. *)
+              if t.writer <> None && t.writer <> Some p then None
+              else if txn.snapshot <> t.counter && not (revalidate t p) then
+                answer (abort t p)
+              else begin
+                let v = t.value.(x) in
+                txn.reads <- (x, v) :: txn.reads;
+                answer (Event.Value v)
+              end)
+      | Event.Write (x, v) ->
+          txn.writes <- (x, v) :: txn.writes;
+          answer Event.Ok_written
+      | Event.Try_commit -> (
+          match txn.phase with
+          | Idle ->
+              if write_set txn = [] then
+                (* Read-only: the read set was coherent at the last
+                   (re)validation and no writer has intervened since the
+                   snapshot was adopted. *)
+                if txn.snapshot = t.counter || revalidate t p then
+                  answer
+                    (t.txns.(p) <- fresh_txn ();
+                     Event.Committed)
+                else answer (abort t p)
+              else if t.writer <> None then None
+              else begin
+                t.writer <- Some p;
+                if not (revalidate t p) then answer (abort t p)
+                else begin
+                  txn.phase <- Writing_back (write_set txn);
+                  None
+                end
+              end
+          | Writing_back [] ->
+              t.counter <- t.counter + 1;
+              t.writer <- None;
+              t.txns.(p) <- fresh_txn ();
+              answer Event.Committed
+          | Writing_back ((x, v) :: rest) ->
+              t.value.(x) <- v;
+              txn.phase <- Writing_back rest;
+              None))
+
+let pending t p = Tm_intf.Mailbox.get t.mail p

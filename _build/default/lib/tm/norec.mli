@@ -1,0 +1,14 @@
+(** A NOrec-style TM: one global sequence lock plus value-based validation
+    (Dalessandro, Spear, Scott, PPoPP 2010).
+
+    Writers serialize on a single commit lock; readers never take it but
+    re-validate their whole read set by value whenever the global snapshot
+    counter moves.  Included in the zoo as a second lock-based design point
+    with a different blocking profile from TL2/TinySTM: a process that
+    crashes while holding the commit lock blocks every other process that
+    still needs the store (its write-back may be half done, so reads wait
+    it out), while parasitic processes never take the lock at all.
+
+    Progress character: solo progress in crash-free systems. *)
+
+include Tm_intf.S

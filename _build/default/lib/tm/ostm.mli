@@ -1,0 +1,17 @@
+(** An OSTM-style lock-free TM with helping (Fraser's OSTM — reference [13]
+    of the paper, which the paper cites as an implementation ensuring
+    opacity and global progress).
+
+    Like TL2, updates are deferred and acquired at commit time; unlike TL2,
+    the commit runs through a shared {e descriptor} that any process can
+    advance.  A transaction that finds a t-variable held by an in-flight
+    commit {e helps} that commit to completion instead of aborting or
+    waiting, so even a process that crashes in the middle of its commit
+    cannot obstruct others — the next process to touch one of its
+    t-variables finishes the commit on its behalf.
+
+    Progress character: responsive and lock-free — global progress (and
+    hence solo progress) in every fault-prone system, the possibility
+    result that complements the paper's Theorem 3. *)
+
+include Tm_intf.S

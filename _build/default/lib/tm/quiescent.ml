@@ -1,0 +1,82 @@
+open Tm_history
+
+type txn = {
+  mutable live : bool;
+  mutable reads : (Event.tvar * Event.value) list;
+  mutable writes : (Event.tvar * Event.value) list;  (** latest first *)
+}
+
+type t = {
+  cfg : Tm_intf.config;
+  mail : Tm_intf.Mailbox.t;
+  store : int array;
+  txns : txn array;
+}
+
+let name = "quiescent"
+
+let describe =
+  "over-conservative strawman: writers commit only when no other \
+   transaction is live (opaque and responsive, but one open transaction \
+   starves all writers - realizes Figures 9 and 12)"
+
+let fresh_txn () = { live = false; reads = []; writes = [] }
+
+let create cfg =
+  {
+    cfg;
+    mail = Tm_intf.Mailbox.create cfg;
+    store = Array.make cfg.ntvars 0;
+    txns = Array.init (cfg.nprocs + 1) (fun _ -> fresh_txn ());
+  }
+
+let invoke t p inv =
+  Tm_intf.Mailbox.check_range t.cfg p inv;
+  Tm_intf.Mailbox.put t.mail p inv
+
+let others_live t p =
+  let live = ref false in
+  Array.iteri (fun q txn -> if q <> p && q > 0 && txn.live then live := true) t.txns;
+  !live
+
+let poll t p =
+  match Tm_intf.Mailbox.get t.mail p with
+  | None -> None
+  | Some inv ->
+      let txn = t.txns.(p) in
+      txn.live <- true;
+      let resp =
+        match inv with
+        | Event.Read x -> (
+            match List.assoc_opt x txn.writes with
+            | Some v -> Event.Value v
+            | None ->
+                (* Reads return the committed value; since writers commit
+                   only in quiescence, the whole read set is automatically
+                   a consistent snapshot as long as this transaction lives
+                   (nobody can commit while it does). *)
+                let v = t.store.(x) in
+                txn.reads <- (x, v) :: txn.reads;
+                Event.Value v)
+        | Event.Write (x, v) ->
+            txn.writes <- (x, v) :: txn.writes;
+            Event.Ok_written
+        | Event.Try_commit ->
+            if txn.writes = [] then begin
+              t.txns.(p) <- fresh_txn ();
+              Event.Committed
+            end
+            else if others_live t p then begin
+              t.txns.(p) <- fresh_txn ();
+              Event.Aborted
+            end
+            else begin
+              List.iter (fun (x, v) -> t.store.(x) <- v) (List.rev txn.writes);
+              t.txns.(p) <- fresh_txn ();
+              Event.Committed
+            end
+      in
+      Tm_intf.Mailbox.clear t.mail p;
+      Some resp
+
+let pending t p = Tm_intf.Mailbox.get t.mail p

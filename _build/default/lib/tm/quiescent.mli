@@ -1,0 +1,20 @@
+(** A deliberately over-conservative TM: an updating transaction may commit
+    only when no other transaction is live.
+
+    Always responsive (every poll answers; conflicting commits are answered
+    with an abort, never delayed), trivially opaque (a writer commits only
+    in total quiescence), but with {e no} useful liveness: one process that
+    merely keeps a transaction open — a suspended process (a crash), or a
+    parasitic reader — starves every writer forever.
+
+    This is the zoo member that {e realizes the remaining branches of the
+    Theorem-1 proof}: against Algorithm 1 it produces the Figure 9 suffix
+    (p1 reads once and "crashes"; p2 is aborted forever — p2 correct,
+    alone, starving), and against Algorithm 2 the Figure 12 suffix (p1
+    reads forever without ever being aborted or attempting to commit —
+    a live parasitic process — while p2 is aborted forever).  The
+    responsive TMs of the zoo can only produce the Figure 10/13 suffixes,
+    so without this strawman two of the proof's four case figures would
+    never be observed in an actual run. *)
+
+include Tm_intf.S

@@ -1,0 +1,24 @@
+(** The TM zoo: every implementation behind the common interface, by name.
+
+    Names: ["global-lock"], ["fgp"], ["tl2"], ["tinystm"], ["swisstm"],
+    ["dstm-aggressive"], ["dstm-polite-4"], ["dstm-karma"],
+    ["dstm-greedy"], ["ostm"], ["norec"], ["mvstm"], ["quiescent"],
+    ["twopl"], ["fgp-priority"]. *)
+
+type entry = {
+  entry_name : string;
+  entry_describe : string;
+  impl : (module Tm_intf.S);
+  responsive : bool;
+      (** answers every invocation within a bounded number of polls (never
+          blocks); blocking TMs escape the Theorem-1 adversary by
+          withholding responses instead of aborting *)
+}
+
+val all : entry list
+val responsive : entry list
+val find : string -> entry option
+val names : string list
+
+val instance : entry -> Tm_intf.config -> Tm_intf.instance
+(** Create a fresh packed instance of the entry. *)

@@ -1,0 +1,160 @@
+open Tm_history
+
+type txn = {
+  mutable started : bool;
+  mutable rv : int;
+  mutable reads : (Event.tvar * int) list;  (** var, version when read *)
+  mutable writes : (Event.tvar * Event.value) list;  (** latest first *)
+  mutable ops_done : int;
+  mutable waits : int;
+  mutable doomed : bool;
+}
+
+type t = {
+  cfg : Tm_intf.config;
+  mail : Tm_intf.Mailbox.t;
+  mutable clock : int;
+  value : int array;
+  version : int array;
+  wlock : Event.proc option array;  (** eager write locks *)
+  txns : txn array;
+}
+
+let name = "swisstm"
+
+let describe =
+  "SwissTM-style: eager write locking, lazy updates, two-phase contention \
+   management (solo progress only in crash-free and parasitic-free \
+   systems)"
+
+(* The two-phase contention threshold: transactions that completed fewer
+   operations than this abort themselves on a write-write conflict; bigger
+   ones wait and then doom the holder. *)
+let cm_threshold = 3
+let cm_patience = 4
+
+let fresh_txn () =
+  {
+    started = false;
+    rv = 0;
+    reads = [];
+    writes = [];
+    ops_done = 0;
+    waits = 0;
+    doomed = false;
+  }
+
+let create cfg =
+  {
+    cfg;
+    mail = Tm_intf.Mailbox.create cfg;
+    clock = 0;
+    value = Array.make cfg.ntvars 0;
+    version = Array.make cfg.ntvars 0;
+    wlock = Array.make cfg.ntvars None;
+    txns = Array.init (cfg.nprocs + 1) (fun _ -> fresh_txn ());
+  }
+
+let invoke t p inv =
+  Tm_intf.Mailbox.check_range t.cfg p inv;
+  Tm_intf.Mailbox.put t.mail p inv
+
+let begin_if_needed t p =
+  let txn = t.txns.(p) in
+  if not txn.started then begin
+    txn.started <- true;
+    txn.rv <- t.clock
+  end
+
+let release_locks t p =
+  Array.iteri (fun x o -> if o = Some p then t.wlock.(x) <- None) t.wlock
+
+let deliver_abort t p =
+  release_locks t p;
+  t.txns.(p) <- fresh_txn ();
+  Event.Aborted
+
+let doom t q =
+  release_locks t q;
+  t.txns.(q).doomed <- true
+
+let poll t p =
+  match Tm_intf.Mailbox.get t.mail p with
+  | None -> None
+  | Some inv ->
+      begin_if_needed t p;
+      let txn = t.txns.(p) in
+      let answer resp =
+        Tm_intf.Mailbox.clear t.mail p;
+        Some resp
+      in
+      if txn.doomed then answer (deliver_abort t p)
+      else (
+        match inv with
+        | Event.Read x -> (
+            (* Lazy updates: the committed value is always in place, so a
+               write lock does not block readers. *)
+            match List.assoc_opt x txn.writes with
+            | Some v ->
+                txn.ops_done <- txn.ops_done + 1;
+                answer (Event.Value v)
+            | None ->
+                if t.version.(x) > txn.rv then answer (deliver_abort t p)
+                else begin
+                  txn.reads <- (x, t.version.(x)) :: txn.reads;
+                  txn.ops_done <- txn.ops_done + 1;
+                  answer (Event.Value t.value.(x))
+                end)
+        | Event.Write (x, v) -> (
+            match t.wlock.(x) with
+            | Some q when q <> p ->
+                (* Two-phase contention management. *)
+                if txn.ops_done < cm_threshold then answer (deliver_abort t p)
+                else if txn.waits < cm_patience then begin
+                  txn.waits <- txn.waits + 1;
+                  None
+                end
+                else begin
+                  doom t q;
+                  t.wlock.(x) <- Some p;
+                  txn.writes <- (x, v) :: txn.writes;
+                  txn.ops_done <- txn.ops_done + 1;
+                  txn.waits <- 0;
+                  answer Event.Ok_written
+                end
+            | Some _ | None ->
+                t.wlock.(x) <- Some p;
+                txn.writes <- (x, v) :: txn.writes;
+                txn.ops_done <- txn.ops_done + 1;
+                txn.waits <- 0;
+                answer Event.Ok_written)
+        | Event.Try_commit ->
+            (* Commit is one atomic step: a multi-poll write-back would let
+               a reader whose snapshot is the new clock value observe half
+               of the commit.  SwissTM's fault character lives in its
+               eager encounter-time write locks, which is unaffected. *)
+            let valid =
+              List.for_all
+                (fun (x, ver) -> t.version.(x) = ver && t.version.(x) <= txn.rv)
+                txn.reads
+            in
+            if not valid then answer (deliver_abort t p)
+            else begin
+              (if txn.writes <> [] then begin
+                 t.clock <- t.clock + 1;
+                 let wv = t.clock in
+                 let vars =
+                   List.sort_uniq Int.compare (List.map fst txn.writes)
+                 in
+                 List.iter
+                   (fun x ->
+                     t.value.(x) <- List.assoc x txn.writes;
+                     t.version.(x) <- wv)
+                   vars
+               end);
+              release_locks t p;
+              t.txns.(p) <- fresh_txn ();
+              answer Event.Committed
+            end)
+
+let pending t p = Tm_intf.Mailbox.get t.mail p

@@ -1,0 +1,19 @@
+(** A SwissTM-style TM (Dragojević, Guerraoui, Kapałka, PLDI 2009 —
+    reference [16] of the paper, co-authored by two of the paper's
+    authors).
+
+    The design point between TL2 and TinySTM: write locks are acquired
+    {e eagerly} (at encounter, so write-write conflicts are detected
+    early) but updates are {e lazy} (buffered until commit, so readers are
+    never exposed to uncommitted values and can read write-locked
+    t-variables).  Write-write conflicts are resolved by a two-phase
+    contention manager: a transaction that has done little work aborts
+    itself, an older one waits briefly and then dooms the lock holder.
+
+    Progress character (Section 3.2.3, same class as TinySTM): solo
+    progress only in systems that are both crash-free and parasitic-free —
+    the eager write locks of a crashed or parasitic writer block
+    conflicting writers forever (readers, thanks to lazy updates, keep
+    going). *)
+
+include Tm_intf.S

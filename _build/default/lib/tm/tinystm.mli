@@ -1,0 +1,23 @@
+(** A TinySTM/SwissTM-style TM: encounter-time locking, write-through with
+    an undo log (references [16, 17] of the paper).
+
+    A write locks its t-variable {e at encounter time} and updates it in
+    place, logging the old value; commit stamps new versions and releases;
+    abort rolls back.  Conflicting operations abort the requester
+    immediately, so the TM is responsive — but a transaction that stops
+    between its first write and its commit (a crashed process, or a
+    parasitic one that keeps writing) holds its encounter locks forever and
+    every conflicting transaction aborts forever.
+
+    Progress character (Section 3.2.3): ensures solo progress only in
+    systems that are both {e crash-free and parasitic-free}. *)
+
+include Tm_intf.S
+
+val make : extension:bool -> (module Tm_intf.S)
+(** [make ~extension:true] is the variant with {e timestamp extension}
+    (the real TinySTM's signature feature): when a read or write meets a
+    version newer than the snapshot, the transaction re-validates its read
+    set and, if intact, extends its snapshot to the current clock instead
+    of aborting.  Same progress character, markedly lower abort rate — the
+    P2d ablation quantifies it.  Its [name] is ["tinystm-ext"]. *)

@@ -1,0 +1,162 @@
+open Tm_history
+
+type commit_phase =
+  | Idle
+  | Acquiring of Event.tvar list  (** write-set vars still to lock *)
+  | Validating of int * (Event.tvar * int) list
+      (** write version, read-set entries still to validate *)
+  | Writing_back of int * (Event.tvar * Event.value) list
+
+type txn = {
+  mutable started : bool;
+  mutable rv : int;  (** read version: clock at transaction start *)
+  mutable reads : (Event.tvar * int) list;  (** var, version when read *)
+  mutable writes : (Event.tvar * Event.value) list;  (** latest first *)
+  mutable phase : commit_phase;
+}
+
+type t = {
+  cfg : Tm_intf.config;
+  mail : Tm_intf.Mailbox.t;
+  mutable clock : int;
+  value : int array;
+  version : int array;
+  lock : Event.proc option array;  (** commit-time write locks *)
+  txns : txn array;
+}
+
+let name = "tl2"
+
+let describe =
+  "TL2-style: deferred updates, commit-time locking, global version clock \
+   (solo progress in crash-free systems)"
+
+let fresh_txn () =
+  { started = false; rv = 0; reads = []; writes = []; phase = Idle }
+
+let create cfg =
+  {
+    cfg;
+    mail = Tm_intf.Mailbox.create cfg;
+    clock = 0;
+    value = Array.make cfg.ntvars 0;
+    version = Array.make cfg.ntvars 0;
+    lock = Array.make cfg.ntvars None;
+    txns = Array.init (cfg.nprocs + 1) (fun _ -> fresh_txn ());
+  }
+
+let invoke t p inv =
+  Tm_intf.Mailbox.check_range t.cfg p inv;
+  Tm_intf.Mailbox.put t.mail p inv
+
+let begin_if_needed t p =
+  let txn = t.txns.(p) in
+  if not txn.started then begin
+    txn.started <- true;
+    txn.rv <- t.clock;
+    txn.reads <- [];
+    txn.writes <- [];
+    txn.phase <- Idle
+  end
+
+let locked_by_other t p x =
+  match t.lock.(x) with Some q -> q <> p | None -> false
+
+let release_acquired t p =
+  Array.iteri
+    (fun x owner -> if owner = Some p then t.lock.(x) <- None)
+    t.lock
+
+let abort t p =
+  release_acquired t p;
+  t.txns.(p) <- fresh_txn ();
+  Event.Aborted
+
+let commit t p =
+  t.txns.(p) <- fresh_txn ();
+  Event.Committed
+
+(* The write set in canonical (ascending) order, one entry per variable,
+   with the transaction's final value for it. *)
+let write_set txn =
+  List.sort_uniq Int.compare (List.map fst txn.writes)
+  |> List.map (fun x -> (x, List.assoc x txn.writes))
+
+let read_value t p x =
+  let txn = t.txns.(p) in
+  match List.assoc_opt x txn.writes with
+  | Some v -> Some (Event.Value v)
+  | None ->
+      if locked_by_other t p x || t.version.(x) > txn.rv then None
+      else begin
+        txn.reads <- (x, t.version.(x)) :: txn.reads;
+        Some (Event.Value t.value.(x))
+      end
+
+(* One micro-step of the commit state machine. *)
+let commit_step t p =
+  let txn = t.txns.(p) in
+  match txn.phase with
+  | Idle -> (
+      match write_set txn with
+      | [] ->
+          (* Read-only transactions need no locks and no re-validation:
+             every read was validated against rv when it happened. *)
+          Some (commit t p)
+      | ws ->
+          txn.phase <- Acquiring (List.map fst ws);
+          None)
+  | Acquiring [] ->
+      t.clock <- t.clock + 1;
+      txn.phase <- Validating (t.clock, txn.reads);
+      None
+  | Acquiring (x :: rest) ->
+      if locked_by_other t p x then Some (abort t p)
+      else begin
+        t.lock.(x) <- Some p;
+        txn.phase <- Acquiring rest;
+        None
+      end
+  | Validating (wv, []) ->
+      txn.phase <- Writing_back (wv, write_set txn);
+      None
+  | Validating (wv, (x, _ver) :: rest) ->
+      if locked_by_other t p x || t.version.(x) > txn.rv then
+        Some (abort t p)
+      else begin
+        txn.phase <- Validating (wv, rest);
+        None
+      end
+  | Writing_back (_, []) ->
+      release_acquired t p;
+      Some (commit t p)
+  | Writing_back (wv, (x, v) :: rest) ->
+      t.value.(x) <- v;
+      t.version.(x) <- wv;
+      t.lock.(x) <- None;
+      txn.phase <- Writing_back (wv, rest);
+      None
+
+let poll t p =
+  match Tm_intf.Mailbox.get t.mail p with
+  | None -> None
+  | Some inv ->
+      begin_if_needed t p;
+      let resp =
+        match inv with
+        | Event.Read x -> (
+            match read_value t p x with
+            | Some r -> Some r
+            | None -> Some (abort t p))
+        | Event.Write (x, v) ->
+            let txn = t.txns.(p) in
+            txn.writes <- (x, v) :: txn.writes;
+            Some Event.Ok_written
+        | Event.Try_commit -> commit_step t p
+      in
+      (match resp with
+      | Some _ -> Tm_intf.Mailbox.clear t.mail p
+      | None -> ());
+      resp
+
+let pending t p = Tm_intf.Mailbox.get t.mail p

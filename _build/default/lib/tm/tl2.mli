@@ -1,0 +1,17 @@
+(** A TL2-style TM: deferred updates, commit-time locking, global version
+    clock (Dice, Shalev, Shavit, DISC 2006 — reference [15] of the paper).
+
+    Writes are buffered; locks are taken only inside [tryC], one per poll,
+    in canonical t-variable order.  Reads validate against the
+    transaction's read version and abort on conflict, so the TM is
+    responsive (every operation answers within a bounded number of polls)
+    {e except} that a process that crashes mid-commit leaves its
+    write-locks held, after which every conflicting transaction aborts
+    forever.
+
+    Progress character (Section 3.2.3): ensures solo progress in
+    {e crash-free} systems — a parasitic process never reaches [tryC], so
+    it never holds a lock and cannot block a solo runner; a crash inside
+    the commit procedure, however, blocks conflicting processes forever. *)
+
+include Tm_intf.S

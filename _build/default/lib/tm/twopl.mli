@@ -1,0 +1,21 @@
+(** A strict two-phase-locking TM with deadlock detection.
+
+    Reads take shared locks, writes take exclusive locks at encounter time
+    (with shared-to-exclusive upgrades); all locks are held until the
+    transaction ends.  A conflicting operation {e waits} (the poll returns
+    no response) rather than aborting.  Waiting can deadlock, so every
+    blocked poll runs cycle detection on the waits-for graph and dooms the
+    {e youngest} transaction on the cycle — the only source of aborts in
+    this TM.
+
+    This is the database-style design point of the zoo: fault-free it
+    combines very low abort rates with mutual blocking; under faults it is
+    as fragile as the paper's global lock — a crashed or parasitic process
+    holding any lock blocks every conflicting process forever (the
+    deadlock detector cannot help: a crashed process is not {e waiting}
+    for anything, so there is no cycle to break).
+
+    Progress character: solo progress only in crash-free and parasitic-free
+    systems; not responsive. *)
+
+include Tm_intf.S

@@ -1,0 +1,164 @@
+(* Tests for the explorer (tm_automaton) on a tiny hand-made system, plus
+   DOT export, invariant checking, and the max_states cutoff. *)
+
+(* A mutable mod-n counter with inc/dec actions. *)
+module Counter = struct
+  type t = { mutable v : int; n : int }
+
+  let make n () = { v = 0; n }
+  let snapshot c = c.v
+
+  let actions _ = [ `Inc; `Dec ]
+
+  let apply c = function
+    | `Inc -> c.v <- (c.v + 1) mod c.n
+    | `Dec -> c.v <- (c.v - 1 + c.n) mod c.n
+end
+
+let explore ?max_states n =
+  Tm_automaton.Explorer.reachable ~make:(Counter.make n)
+    ~snapshot:Counter.snapshot ~actions:Counter.actions ~apply:Counter.apply
+    ?max_states ()
+
+let test_reachable_counts () =
+  let e = explore 5 in
+  Alcotest.(check int) "five states" 5
+    (List.length e.Tm_automaton.Explorer.states);
+  Alcotest.(check bool) "complete" true e.Tm_automaton.Explorer.complete;
+  (* Each state has two outgoing transitions. *)
+  Alcotest.(check int) "transitions" 10
+    (List.length e.Tm_automaton.Explorer.transitions)
+
+let test_bfs_witnesses_shortest () =
+  let e = explore 5 in
+  (* State 3 is reachable in 2 steps (two decs: 0 -> 4 -> 3). *)
+  let _, witness = List.find (fun (s, _) -> s = 3) e.Tm_automaton.Explorer.states in
+  Alcotest.(check int) "shortest witness" 2 (List.length witness)
+
+let test_max_states_cutoff () =
+  let e = explore ~max_states:3 10 in
+  Alcotest.(check bool) "incomplete" false e.Tm_automaton.Explorer.complete;
+  Alcotest.(check int) "cut off at three states" 3
+    (List.length e.Tm_automaton.Explorer.states)
+
+let test_invariant () =
+  let e = explore 5 in
+  Alcotest.(check bool) "all states < 5" true
+    (Tm_automaton.Explorer.check_invariant e (fun s -> s < 5) = None);
+  match Tm_automaton.Explorer.check_invariant e (fun s -> s < 3) with
+  | None -> Alcotest.fail "expected a violation"
+  | Some (s, witness) ->
+      Alcotest.(check bool) "violating state" true (s >= 3);
+      Alcotest.(check bool) "witness leads there" true (List.length witness >= 1)
+
+let test_to_dot () =
+  let e = explore 3 in
+  let dot =
+    Tm_automaton.Explorer.to_dot ~state_label:string_of_int
+      ~action_label:(function `Inc -> "+1" | `Dec -> "-1")
+      e
+  in
+  Alcotest.(check bool) "digraph header" true
+    (String.length dot > 20
+    && String.sub dot 0 7 = "digraph");
+  (* All three states and both action labels appear. *)
+  List.iter
+    (fun needle ->
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) ("contains " ^ needle) true (contains dot needle))
+    [ "s1"; "s2"; "s3"; "+1"; "-1" ]
+
+(* ------------------------------------------------------------------ *)
+(* The codec (trace serialization), round-tripped on the figures and on
+   generated histories. *)
+
+open Tm_history
+
+let test_codec_roundtrip_figures () =
+  List.iter
+    (fun (name, h) ->
+      match Codec.history_of_string (Codec.history_to_string h) with
+      | Ok h' ->
+          Alcotest.(check bool) (name ^ " round-trips") true (History.equal h h')
+      | Error m -> Alcotest.failf "%s: %s" name m)
+    Figures.all_finite;
+  List.iter
+    (fun (name, l) ->
+      match Codec.lasso_of_string (Codec.lasso_to_string l) with
+      | Ok l' ->
+          Alcotest.(check bool)
+            (name ^ " lasso round-trips")
+            true
+            (l.Lasso.stem = l'.Lasso.stem && l.Lasso.cycle = l'.Lasso.cycle)
+      | Error m -> Alcotest.failf "%s: %s" name m)
+    Figures.all_lassos
+
+let test_codec_rejects_garbage () =
+  (match Codec.event_of_string "inv one read 0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-numeric process accepted");
+  (match Codec.history_of_string "res 1 value 0\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ill-formed history accepted");
+  match Codec.lasso_of_string "inv 1 read 0\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "lasso without cycle separator accepted"
+
+let test_codec_comments_and_blanks () =
+  let text = "# a comment\n\ninv 1 read 0\nres 1 value 0\n\n" in
+  match Codec.history_of_string text with
+  | Ok h -> Alcotest.(check int) "two events" 2 (History.length h)
+  | Error m -> Alcotest.fail m
+
+let prop_codec_roundtrip =
+  let gen_event =
+    QCheck2.Gen.(
+      let* p = int_range 1 5 in
+      oneof
+        [
+          map (fun x -> Event.Inv (p, Event.Read x)) (int_bound 10);
+          map2
+            (fun x v -> Event.Inv (p, Event.Write (x, v)))
+            (int_bound 10) (int_bound 100);
+          return (Event.Inv (p, Event.Try_commit));
+          map (fun v -> Event.Res (p, Event.Value v)) (int_bound 100);
+          return (Event.Res (p, Event.Ok_written));
+          return (Event.Res (p, Event.Committed));
+          return (Event.Res (p, Event.Aborted));
+        ])
+  in
+  QCheck2.Test.make ~count:500 ~name:"event codec round-trips" gen_event
+    (fun e ->
+      match Codec.event_of_string (Codec.event_to_string e) with
+      | Ok e' -> Event.equal e e'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "tm_automaton"
+    [
+      ( "explorer",
+        [
+          Alcotest.test_case "reachable counts" `Quick test_reachable_counts;
+          Alcotest.test_case "BFS shortest witnesses" `Quick
+            test_bfs_witnesses_shortest;
+          Alcotest.test_case "max_states cutoff" `Quick test_max_states_cutoff;
+          Alcotest.test_case "invariants" `Quick test_invariant;
+          Alcotest.test_case "DOT export" `Quick test_to_dot;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "figures round-trip" `Quick
+            test_codec_roundtrip_figures;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_codec_rejects_garbage;
+          Alcotest.test_case "comments and blanks" `Quick
+            test_codec_comments_and_blanks;
+          QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,385 @@
+(* Tests for the simulation substrate: PRNG, workloads, schedulers, fault
+   injection edge cases, and the exhaustive schedule sweep. *)
+
+open Tm_history
+module Reg = Tm_impl.Registry
+
+(* ------------------------------------------------------------------ *)
+(* PRNG. *)
+
+let test_prng_determinism () =
+  let a = Tm_sim.Prng.create 42 and b = Tm_sim.Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Tm_sim.Prng.next a)
+      (Tm_sim.Prng.next b)
+  done
+
+let test_prng_bounds () =
+  let g = Tm_sim.Prng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Tm_sim.Prng.int g 13 in
+    if v < 0 || v >= 13 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_prng_distribution () =
+  (* Crude uniformity check: every residue of a small bound shows up. *)
+  let g = Tm_sim.Prng.create 3 in
+  let seen = Array.make 8 0 in
+  for _ = 1 to 4_000 do
+    let v = Tm_sim.Prng.int g 8 in
+    seen.(v) <- seen.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) (Fmt.str "residue %d occurs plausibly" i) true
+        (c > 300 && c < 700))
+    seen
+
+let test_prng_split_independent () =
+  let g = Tm_sim.Prng.create 5 in
+  let g1 = Tm_sim.Prng.split g in
+  let g2 = Tm_sim.Prng.split g in
+  (* Different splits yield different streams. *)
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Tm_sim.Prng.next g1 = Tm_sim.Prng.next g2 then incr same
+  done;
+  Alcotest.(check int) "streams diverge" 0 !same
+
+let test_prng_copy () =
+  let g = Tm_sim.Prng.create 9 in
+  ignore (Tm_sim.Prng.next g);
+  let c = Tm_sim.Prng.copy g in
+  Alcotest.(check int64) "copy continues identically" (Tm_sim.Prng.next g)
+    (Tm_sim.Prng.next c)
+
+let test_prng_errors () =
+  let g = Tm_sim.Prng.create 1 in
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Tm_sim.Prng.int g 0));
+  Alcotest.check_raises "empty pick"
+    (Invalid_argument "Prng.pick: empty list") (fun () ->
+      ignore (Tm_sim.Prng.pick g ([] : int list)))
+
+(* ------------------------------------------------------------------ *)
+(* Workloads. *)
+
+let test_workload_counter () =
+  let g = Tm_sim.Prng.create 0 in
+  let w = Tm_sim.Workload.counter ~ntvars:3 in
+  match w.Tm_sim.Workload.body g 0 with
+  | [ Tm_sim.Workload.W_read x; Tm_sim.Workload.W_write (y, f) ] ->
+      Alcotest.(check int) "same variable" x y;
+      Alcotest.(check int) "increments the read value" 6 (f [ (x, 5) ]);
+      Alcotest.(check int) "defaults to 0" 1 (f [])
+  | _ -> Alcotest.fail "unexpected counter body"
+
+let test_workload_transfer () =
+  let g = Tm_sim.Prng.create 0 in
+  let w = Tm_sim.Workload.transfer ~ntvars:4 in
+  match w.Tm_sim.Workload.body g 0 with
+  | [
+   Tm_sim.Workload.W_read a;
+   Tm_sim.Workload.W_read b;
+   Tm_sim.Workload.W_write (a', fa);
+   Tm_sim.Workload.W_write (b', fb);
+  ] ->
+      Alcotest.(check bool) "distinct accounts" true (a <> b);
+      Alcotest.(check int) "debits source" 9 (fa [ (a, 10); (b, 3) ]);
+      Alcotest.(check int) "credits target" 4 (fb [ (a, 10); (b, 3) ]);
+      Alcotest.(check int) "source var" a a';
+      Alcotest.(check int) "target var" b b'
+  | _ -> Alcotest.fail "unexpected transfer body"
+
+let test_workload_write_only () =
+  let g = Tm_sim.Prng.create 0 in
+  let w = Tm_sim.Workload.write_only ~ntvars:2 ~writes:3 in
+  let body = w.Tm_sim.Workload.body g 7 in
+  Alcotest.(check int) "three writes" 3 (List.length body);
+  List.iter
+    (function
+      | Tm_sim.Workload.W_write (_, f) ->
+          Alcotest.(check int) "writes the index" 8 (f [])
+      | Tm_sim.Workload.W_read _ -> Alcotest.fail "unexpected read")
+    body
+
+let test_workload_fixed_cycles () =
+  let w =
+    Tm_sim.Workload.fixed "ab"
+      [ [ Tm_sim.Workload.W_read 0 ]; [ Tm_sim.Workload.W_read 1 ] ]
+  in
+  let g = Tm_sim.Prng.create 0 in
+  let var i =
+    match w.Tm_sim.Workload.body g i with
+    | [ Tm_sim.Workload.W_read x ] -> x
+    | _ -> Alcotest.fail "unexpected body"
+  in
+  Alcotest.(check (list int)) "cycles" [ 0; 1; 0; 1 ] [ var 0; var 1; var 2; var 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Runner edge cases. *)
+
+let tl2 = Option.get (Reg.find "tl2")
+
+let test_crash_at_zero () =
+  let spec =
+    Tm_sim.Runner.spec ~nprocs:2 ~ntvars:1 ~steps:500 ~seed:1
+      ~fates:[ (1, Tm_sim.Runner.Crash_at 0) ]
+      ()
+  in
+  let o = Tm_sim.Runner.run tl2 spec in
+  Alcotest.(check int) "p1 never acts" 0
+    (History.event_count o.Tm_sim.Runner.history 1);
+  Alcotest.(check bool) "p2 commits" true (o.Tm_sim.Runner.commits.(2) > 0)
+
+let test_all_crash () =
+  let spec =
+    Tm_sim.Runner.spec ~nprocs:2 ~ntvars:1 ~steps:500 ~seed:1
+      ~fates:[ (1, Tm_sim.Runner.Crash_at 10); (2, Tm_sim.Runner.Crash_at 10) ]
+      ()
+  in
+  let o = Tm_sim.Runner.run tl2 spec in
+  Alcotest.(check bool) "run stops early" true (o.Tm_sim.Runner.steps_taken < 500)
+
+let test_parasite_from_zero () =
+  let spec =
+    Tm_sim.Runner.spec ~nprocs:1 ~ntvars:1 ~steps:300 ~seed:1
+      ~fates:[ (1, Tm_sim.Runner.Parasitic_from 0) ]
+      ()
+  in
+  let o = Tm_sim.Runner.run tl2 spec in
+  Alcotest.(check int) "never commits" 0 (Tm_sim.Runner.commit_total o);
+  Alcotest.(check int) "never invokes tryC" 0
+    (History.try_commit_count o.Tm_sim.Runner.history 1);
+  Alcotest.(check bool) "keeps executing" true
+    (History.event_count o.Tm_sim.Runner.history 1 > 100)
+
+let test_quantum_scheduler () =
+  let spec =
+    Tm_sim.Runner.spec ~nprocs:2 ~ntvars:2 ~steps:1000 ~seed:1
+      ~sched:(Tm_sim.Runner.Quantum 20) ()
+  in
+  let o = Tm_sim.Runner.run tl2 spec in
+  Alcotest.(check bool) "both commit" true
+    (o.Tm_sim.Runner.commits.(1) > 0 && o.Tm_sim.Runner.commits.(2) > 0);
+  Alcotest.(check bool) "history well-formed" true
+    (History.is_well_formed o.Tm_sim.Runner.history)
+
+let test_outcome_accounting () =
+  let spec = Tm_sim.Runner.spec ~nprocs:2 ~ntvars:2 ~steps:600 ~seed:3 () in
+  let o = Tm_sim.Runner.run tl2 spec in
+  (* Each step is an invocation, an answered poll, or a deferred poll. *)
+  let responses =
+    List.length
+      (List.filter Event.is_response (History.events o.Tm_sim.Runner.history))
+  in
+  Alcotest.(check int) "steps add up"
+    o.Tm_sim.Runner.steps_taken
+    (Tm_sim.Runner.total o.Tm_sim.Runner.invocations
+    + Tm_sim.Runner.total o.Tm_sim.Runner.defers
+    + responses);
+  (* Commit/abort counts match the history. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "commits match history"
+        (History.commit_count o.Tm_sim.Runner.history p)
+        o.Tm_sim.Runner.commits.(p);
+      Alcotest.(check int) "aborts match history"
+        (History.abort_count o.Tm_sim.Runner.history p)
+        o.Tm_sim.Runner.aborts.(p))
+    [ 1; 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* The exhaustive sweep, cross-checked with the monitor and the exact
+   checker. *)
+
+let sweep_invocations = [ Event.Read 0; Event.Write (0, 1); Event.Try_commit ]
+
+let test_sweep_counts () =
+  (* Depth-0 sweep visits exactly the empty history. *)
+  let n =
+    Tm_sim.Sweep.count_nodes tl2 ~nprocs:1 ~ntvars:1
+      ~invocations:sweep_invocations ~depth:0
+  in
+  Alcotest.(check int) "only the root" 1 n;
+  (* Depth 1 with one process: root + 3 invocations. *)
+  let n1 =
+    Tm_sim.Sweep.count_nodes tl2 ~nprocs:1 ~ntvars:1
+      ~invocations:sweep_invocations ~depth:1
+  in
+  Alcotest.(check int) "root + 3" 4 n1
+
+let sweep_tm_opaque name depth =
+  let entry = Option.get (Reg.find name) in
+  let bad = ref 0 in
+  let checked = ref 0 in
+  Tm_sim.Sweep.run entry ~nprocs:2 ~ntvars:1 ~invocations:sweep_invocations
+    ~depth ~on_history:(fun h _ ->
+      incr checked;
+      match Tm_safety.Monitor.run h with
+      | Tm_safety.Monitor.Accepted -> ()
+      | Tm_safety.Monitor.No_witness _ ->
+          if not (Tm_safety.Opacity.is_opaque h) then incr bad);
+  Alcotest.(check bool) (name ^ " visited many schedules") true (!checked > 1000);
+  Alcotest.(check int) (name ^ " non-opaque histories") 0 !bad
+
+let test_sweep_tl2 () = sweep_tm_opaque "tl2" 7
+let test_sweep_tinystm () = sweep_tm_opaque "tinystm" 7
+let test_sweep_tinystm_ext () = sweep_tm_opaque "tinystm-ext" 7
+let test_sweep_swisstm () = sweep_tm_opaque "swisstm" 7
+let test_sweep_fgp () = sweep_tm_opaque "fgp" 7
+let test_sweep_dstm () = sweep_tm_opaque "dstm-aggressive" 7
+let test_sweep_quiescent () = sweep_tm_opaque "quiescent" 7
+
+(* ------------------------------------------------------------------ *)
+(* Statistics helpers. *)
+
+let test_stats () =
+  let s = Tm_sim.Stats.of_ints [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check int) "n" 5 s.Tm_sim.Stats.n;
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.Tm_sim.Stats.mean;
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.5) s.Tm_sim.Stats.stddev;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Tm_sim.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 5.0 s.Tm_sim.Stats.max;
+  Alcotest.(check (float 1e-9)) "median" 3.0 s.Tm_sim.Stats.median;
+  Alcotest.(check (float 1e-9)) "p100" 5.0
+    (Tm_sim.Stats.percentile [ 1.; 2.; 3.; 4.; 5. ] 100.);
+  Alcotest.(check (float 1e-9)) "p0 -> first" 1.0
+    (Tm_sim.Stats.percentile [ 1.; 2.; 3.; 4.; 5. ] 0.);
+  let one = Tm_sim.Stats.of_ints [ 7 ] in
+  Alcotest.(check (float 1e-9)) "singleton stddev" 0.0 one.Tm_sim.Stats.stddev;
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Stats.summarize: empty series") (fun () ->
+      ignore (Tm_sim.Stats.summarize []))
+
+(* ------------------------------------------------------------------ *)
+(* Interface conformance across the whole zoo. *)
+
+let test_conformance_zoo () =
+  List.iter
+    (fun entry ->
+      (* Blocking TMs may legitimately defer forever once a fault-like
+         schedule arises; disable the patience bound for them. *)
+      let patience =
+        if entry.Reg.responsive then Some 2000 else None
+      in
+      match
+        Tm_sim.Conformance.check ~steps:2000 ~seed:17 ~patience ~nprocs:3
+          ~ntvars:2 entry
+      with
+      | Ok h ->
+          Alcotest.(check bool)
+            (entry.Reg.entry_name ^ " conforms")
+            true
+            (History.is_well_formed h)
+      | Error v ->
+          Alcotest.failf "%s violates the interface at step %d: %s"
+            entry.Reg.entry_name v.Tm_sim.Conformance.at_step
+            v.Tm_sim.Conformance.message)
+    Reg.all
+
+(* ------------------------------------------------------------------ *)
+(* The controlled-execution circumvention (paper §1.3, second way). *)
+
+let test_controlled_everyone_commits () =
+  (* The same single-t-variable counter workload whose step-level
+     round-robin scheduling starves p2 under fgp; with the TM in control
+     of execution every submission commits. *)
+  List.iter
+    (fun name ->
+      let entry = Option.get (Reg.find name) in
+      let o =
+        Tm_sim.Controlled.run entry ~nprocs:3 ~ntvars:1 ~submissions:20
+          ~workload:(Tm_sim.Workload.counter ~ntvars:1)
+          ~seed:1
+      in
+      for p = 1 to 3 do
+        Alcotest.(check int)
+          (Fmt.str "%s: p%d commits all submissions" name p)
+          20
+          o.Tm_sim.Controlled.committed.(p)
+      done;
+      Alcotest.(check bool) (name ^ ": history accepted by monitor") true
+        (match Tm_safety.Monitor.run o.Tm_sim.Controlled.history with
+        | Tm_safety.Monitor.Accepted -> true
+        | Tm_safety.Monitor.No_witness _ -> false))
+    [ "fgp"; "tl2"; "global-lock"; "quiescent"; "fgp-priority" ]
+
+let test_controlled_counter_value () =
+  (* 3 processes x 20 committed increments of one counter: the committed
+     state must be exactly 60 — checked through the serialization witness
+     of the recorded history. *)
+  let entry = Option.get (Reg.find "tinystm") in
+  let o =
+    Tm_sim.Controlled.run entry ~nprocs:3 ~ntvars:1 ~submissions:20
+      ~workload:(Tm_sim.Workload.counter ~ntvars:1)
+      ~seed:2
+  in
+  match Tm_safety.Opacity.serialization o.Tm_sim.Controlled.history with
+  | None -> Alcotest.fail "history should be opaque"
+  | Some order ->
+      let final =
+        List.fold_left Tm_safety.Legality.commit_effect Tm_safety.Store.initial
+          order
+      in
+      Alcotest.(check int) "no lost increments" 60 (Tm_safety.Store.get final 0)
+
+let () =
+  Alcotest.run "tm_sim"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "distribution" `Quick test_prng_distribution;
+          Alcotest.test_case "split independence" `Quick
+            test_prng_split_independent;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "errors" `Quick test_prng_errors;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "counter" `Quick test_workload_counter;
+          Alcotest.test_case "transfer" `Quick test_workload_transfer;
+          Alcotest.test_case "write-only" `Quick test_workload_write_only;
+          Alcotest.test_case "fixed cycles" `Quick test_workload_fixed_cycles;
+        ] );
+      ( "runner edges",
+        [
+          Alcotest.test_case "crash at step 0" `Quick test_crash_at_zero;
+          Alcotest.test_case "everyone crashes" `Quick test_all_crash;
+          Alcotest.test_case "parasite from step 0" `Quick
+            test_parasite_from_zero;
+          Alcotest.test_case "quantum scheduler" `Quick test_quantum_scheduler;
+          Alcotest.test_case "accounting" `Quick test_outcome_accounting;
+        ] );
+      ( "stats",
+        [ Alcotest.test_case "summaries and percentiles" `Quick test_stats ]
+      );
+      ( "conformance",
+        [ Alcotest.test_case "whole zoo conforms" `Quick test_conformance_zoo ]
+      );
+      ( "controlled execution",
+        [
+          Alcotest.test_case "everyone commits" `Quick
+            test_controlled_everyone_commits;
+          Alcotest.test_case "counter value" `Quick
+            test_controlled_counter_value;
+        ] );
+      ( "exhaustive sweep",
+        [
+          Alcotest.test_case "node counts" `Quick test_sweep_counts;
+          Alcotest.test_case "tl2 opaque at depth 7" `Slow test_sweep_tl2;
+          Alcotest.test_case "tinystm opaque at depth 7" `Slow
+            test_sweep_tinystm;
+          Alcotest.test_case "tinystm-ext opaque at depth 7" `Slow
+            test_sweep_tinystm_ext;
+          Alcotest.test_case "swisstm opaque at depth 7" `Slow
+            test_sweep_swisstm;
+          Alcotest.test_case "fgp opaque at depth 7" `Slow test_sweep_fgp;
+          Alcotest.test_case "dstm opaque at depth 7" `Slow test_sweep_dstm;
+          Alcotest.test_case "quiescent opaque at depth 7" `Slow
+            test_sweep_quiescent;
+        ] );
+    ]

@@ -1,0 +1,437 @@
+(* Tests for the real multicore STM runtime (lib/stm): single-domain
+   semantics, rollback, and multi-domain stress with invariant checks. *)
+
+module Stm = Tm_stm.Stm
+
+let spawn_all fns = List.map Domain.spawn fns |> List.iter Domain.join
+
+(* ------------------------------------------------------------------ *)
+(* Single-domain semantics. *)
+
+let test_basic_read_write () =
+  let v = Stm.tvar 1 in
+  let r =
+    Stm.atomically (fun () ->
+        let a = Stm.read v in
+        Stm.write v (a + 10);
+        Stm.read v)
+  in
+  Alcotest.(check int) "reads own write" 11 r;
+  Alcotest.(check int) "committed" 11 (Stm.read v)
+
+let test_rollback_on_exception () =
+  let v = Stm.tvar 0 in
+  (try
+     Stm.atomically (fun () ->
+         Stm.write v 42;
+         raise Exit)
+   with Exit -> ());
+  Alcotest.(check int) "write rolled back" 0 (Stm.read v)
+
+let test_write_outside_rejected () =
+  let v = Stm.tvar 0 in
+  Alcotest.check_raises "write outside transaction"
+    (Invalid_argument "Stm.write outside a transaction") (fun () ->
+      Stm.write v 1)
+
+let test_snapshot_read_outside () =
+  let v = Stm.tvar 5 in
+  Alcotest.(check int) "snapshot read" 5 (Stm.read v);
+  Alcotest.(check bool) "not in transaction" false (Stm.in_transaction ())
+
+let test_nesting_flattens () =
+  let v = Stm.tvar 0 in
+  Stm.atomically (fun () ->
+      Alcotest.(check bool) "in transaction" true (Stm.in_transaction ());
+      (* Txn_counter.add uses atomically internally: must join us. *)
+      Stm.write v 1;
+      Stm.atomically (fun () -> Stm.write v (Stm.read v + 1)));
+  Alcotest.(check int) "nested writes committed once" 2 (Stm.read v)
+
+let test_two_tvars_consistent () =
+  let a = Stm.tvar 1 and b = Stm.tvar 1 in
+  Stm.atomically (fun () ->
+      Stm.write a 2;
+      Stm.write b 2);
+  let sa, sb = Stm.atomically (fun () -> (Stm.read a, Stm.read b)) in
+  Alcotest.(check (pair int int)) "both updated" (2, 2) (sa, sb)
+
+let test_polymorphic_tvars () =
+  let s = Stm.tvar "hello" and l = Stm.tvar [ 1; 2 ] in
+  Stm.atomically (fun () ->
+      Stm.write s (Stm.read s ^ " world");
+      Stm.write l (3 :: Stm.read l));
+  Alcotest.(check string) "string tvar" "hello world" (Stm.read s);
+  Alcotest.(check (list int)) "list tvar" [ 3; 1; 2 ] (Stm.read l)
+
+(* ------------------------------------------------------------------ *)
+(* Data structures: sequential model checks. *)
+
+let test_counter () =
+  let c = Tm_stm.Txn_counter.make 0 in
+  for _ = 1 to 10 do
+    Tm_stm.Txn_counter.incr c
+  done;
+  Tm_stm.Txn_counter.add c 5;
+  Alcotest.(check int) "counter" 15 (Tm_stm.Txn_counter.get c)
+
+let test_list_model =
+  QCheck2.Test.make ~count:100 ~name:"txn_list behaves like a set"
+    QCheck2.Gen.(list (pair bool (int_bound 20)))
+    (fun ops ->
+      let l = Tm_stm.Txn_list.make () in
+      let model = ref [] in
+      List.iter
+        (fun (is_add, k) ->
+          if is_add then begin
+            let added = Tm_stm.Txn_list.add l k in
+            let expected = not (List.mem k !model) in
+            if added <> expected then failwith "add mismatch";
+            if added then model := k :: !model
+          end
+          else begin
+            let removed = Tm_stm.Txn_list.remove l k in
+            let expected = List.mem k !model in
+            if removed <> expected then failwith "remove mismatch";
+            if removed then model := List.filter (( <> ) k) !model
+          end)
+        ops;
+      Tm_stm.Txn_list.to_list l = List.sort_uniq Int.compare !model)
+
+let test_queue_fifo () =
+  let q = Tm_stm.Txn_queue.make () in
+  List.iter (Tm_stm.Txn_queue.push q) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Tm_stm.Txn_queue.pop q);
+  Tm_stm.Txn_queue.push q 4;
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Tm_stm.Txn_queue.pop q);
+  Alcotest.(check (list int)) "rest" [ 3; 4 ] (Tm_stm.Txn_queue.to_list q);
+  Alcotest.(check int) "length" 2 (Tm_stm.Txn_queue.length q);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Tm_stm.Txn_queue.pop q);
+  Alcotest.(check (option int)) "pop 4" (Some 4) (Tm_stm.Txn_queue.pop q);
+  Alcotest.(check (option int)) "empty" None (Tm_stm.Txn_queue.pop q)
+
+let test_stack () =
+  let s = Tm_stm.Txn_stack.make () in
+  Alcotest.(check (option int)) "empty pop" None (Tm_stm.Txn_stack.pop s);
+  Tm_stm.Txn_stack.push s 1;
+  Tm_stm.Txn_stack.push s 2;
+  Alcotest.(check (option int)) "peek" (Some 2) (Tm_stm.Txn_stack.peek s);
+  Alcotest.(check int) "length" 2 (Tm_stm.Txn_stack.length s);
+  Alcotest.(check (option int)) "lifo pop" (Some 2) (Tm_stm.Txn_stack.pop s);
+  Alcotest.(check (list int)) "rest" [ 1 ] (Tm_stm.Txn_stack.to_list s)
+
+let test_map_model =
+  QCheck2.Test.make ~count:100 ~name:"txn_map behaves like a map and stays \
+                                      balanced"
+    QCheck2.Gen.(list (pair (int_bound 2) (int_bound 30)))
+    (fun ops ->
+      let m = Tm_stm.Txn_map.make () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (op, k) ->
+          match op with
+          | 0 ->
+              Tm_stm.Txn_map.set m k (k * 10);
+              Hashtbl.replace model k (k * 10)
+          | 1 ->
+              let removed = Tm_stm.Txn_map.remove m k in
+              let expected = Hashtbl.mem model k in
+              if removed <> expected then failwith "remove mismatch";
+              Hashtbl.remove model k
+          | _ ->
+              let found = Tm_stm.Txn_map.find m k in
+              let expected = Hashtbl.find_opt model k in
+              if found <> expected then failwith "find mismatch")
+        ops;
+      let expected_bindings =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []
+        |> List.sort compare
+      in
+      Tm_stm.Txn_map.bindings m = expected_bindings
+      && Tm_stm.Txn_map.check_balanced m)
+
+let test_map_sequential () =
+  let m = Tm_stm.Txn_map.make () in
+  for i = 1 to 100 do
+    Tm_stm.Txn_map.set m i (i * i)
+  done;
+  Alcotest.(check int) "cardinal" 100 (Tm_stm.Txn_map.cardinal m);
+  Alcotest.(check bool) "balanced after ascending inserts" true
+    (Tm_stm.Txn_map.check_balanced m);
+  Alcotest.(check (option int)) "find" (Some 49) (Tm_stm.Txn_map.find m 7);
+  Alcotest.(check bool) "remove" true (Tm_stm.Txn_map.remove m 7);
+  Alcotest.(check (option int)) "gone" None (Tm_stm.Txn_map.find m 7);
+  Alcotest.(check bool) "still balanced" true (Tm_stm.Txn_map.check_balanced m)
+
+let test_hashtbl () =
+  let h = Tm_stm.Txn_hashtbl.make ~buckets:4 () in
+  Tm_stm.Txn_hashtbl.set h 1 "one";
+  Tm_stm.Txn_hashtbl.set h 5 "five";
+  Tm_stm.Txn_hashtbl.set h 1 "uno";
+  Alcotest.(check (option string)) "overwrite" (Some "uno")
+    (Tm_stm.Txn_hashtbl.find h 1);
+  Alcotest.(check (option string)) "other key" (Some "five")
+    (Tm_stm.Txn_hashtbl.find h 5);
+  Alcotest.(check int) "length" 2 (Tm_stm.Txn_hashtbl.length h);
+  Alcotest.(check bool) "remove" true (Tm_stm.Txn_hashtbl.remove h 1);
+  Alcotest.(check bool) "remove again" false (Tm_stm.Txn_hashtbl.remove h 1);
+  Alcotest.(check (option string)) "gone" None (Tm_stm.Txn_hashtbl.find h 1)
+
+(* ------------------------------------------------------------------ *)
+(* Multicore stress. *)
+
+let ndomains = 4
+
+let test_parallel_counter () =
+  let c = Tm_stm.Txn_counter.make 0 in
+  let iters = 3000 in
+  spawn_all
+    (List.init ndomains (fun _ () ->
+         for _ = 1 to iters do
+           Tm_stm.Txn_counter.incr c
+         done));
+  Alcotest.(check int) "no lost updates" (ndomains * iters)
+    (Tm_stm.Txn_counter.get c)
+
+let test_parallel_bank () =
+  let accounts = 8 and initial = 100 in
+  let bank = Tm_stm.Txn_bank.make ~accounts ~initial in
+  let violations = Atomic.make 0 in
+  let workers =
+    List.init ndomains (fun d () ->
+        let st = ref (d + 1) in
+        let rand bound =
+          st := (!st * 1103515245) + 12345;
+          abs !st mod bound
+        in
+        for _ = 1 to 2000 do
+          let a = rand accounts in
+          let b = (a + 1 + rand (accounts - 1)) mod accounts in
+          ignore (Tm_stm.Txn_bank.transfer bank ~from_:a ~to_:b ~amount:(1 + rand 5))
+        done)
+  in
+  let checker () =
+    for _ = 1 to 200 do
+      if Tm_stm.Txn_bank.total bank <> accounts * initial then
+        Atomic.incr violations
+    done
+  in
+  spawn_all (checker :: workers);
+  Alcotest.(check int) "total balance always invariant" 0
+    (Atomic.get violations);
+  Alcotest.(check int) "final total" (accounts * initial)
+    (Tm_stm.Txn_bank.total bank)
+
+let test_parallel_list () =
+  let l = Tm_stm.Txn_list.make () in
+  let per = 300 in
+  spawn_all
+    (List.init ndomains (fun d () ->
+         for i = 0 to per - 1 do
+           ignore (Tm_stm.Txn_list.add l ((i * ndomains) + d))
+         done));
+  let contents = Tm_stm.Txn_list.to_list l in
+  Alcotest.(check int) "all inserted" (ndomains * per) (List.length contents);
+  Alcotest.(check (list int))
+    "sorted and complete"
+    (List.init (ndomains * per) Fun.id)
+    contents
+
+let test_parallel_queue () =
+  let q = Tm_stm.Txn_queue.make () in
+  let per = 2000 in
+  let popped = Array.make ndomains 0 in
+  let producers =
+    List.init (ndomains / 2) (fun d () ->
+        for i = 1 to per do
+          Tm_stm.Txn_queue.push q ((d * per) + i)
+        done)
+  in
+  let total_expected = ndomains / 2 * per in
+  let taken = Atomic.make 0 in
+  let consumers =
+    List.init (ndomains / 2) (fun d () ->
+        let continue = ref true in
+        while !continue do
+          match Tm_stm.Txn_queue.pop q with
+          | Some _ ->
+              popped.(d) <- popped.(d) + 1;
+              ignore (Atomic.fetch_and_add taken 1)
+          | None -> if Atomic.get taken >= total_expected then continue := false
+        done)
+  in
+  spawn_all (producers @ consumers);
+  Alcotest.(check int) "all elements consumed" total_expected
+    (Atomic.get taken);
+  Alcotest.(check (option int)) "queue drained" None (Tm_stm.Txn_queue.pop q)
+
+let test_parallel_map () =
+  let m = Tm_stm.Txn_map.make () in
+  let per = 250 in
+  spawn_all
+    (List.init ndomains (fun d () ->
+         for i = 0 to per - 1 do
+           Tm_stm.Txn_map.set m ((i * ndomains) + d) d
+         done));
+  Alcotest.(check int) "all keys present" (ndomains * per)
+    (Tm_stm.Txn_map.cardinal m);
+  Alcotest.(check bool) "balanced under concurrency" true
+    (Tm_stm.Txn_map.check_balanced m);
+  Alcotest.(check (list int)) "keys complete"
+    (List.init (ndomains * per) Fun.id)
+    (List.map fst (Tm_stm.Txn_map.bindings m))
+
+let test_parallel_stack () =
+  let s = Tm_stm.Txn_stack.make () in
+  let per = 2000 in
+  spawn_all
+    (List.init ndomains (fun d () ->
+         for i = 1 to per do
+           Tm_stm.Txn_stack.push s ((d * per) + i)
+         done));
+  Alcotest.(check int) "nothing lost" (ndomains * per)
+    (Tm_stm.Txn_stack.length s);
+  let sorted = List.sort Int.compare (Tm_stm.Txn_stack.to_list s) in
+  Alcotest.(check bool) "all distinct elements present" true
+    (sorted = List.init (ndomains * per) (fun i -> i + 1))
+
+let test_parallel_hashtbl () =
+  let h = Tm_stm.Txn_hashtbl.make ~buckets:16 () in
+  let per = 500 in
+  spawn_all
+    (List.init ndomains (fun d () ->
+         for i = 0 to per - 1 do
+           Tm_stm.Txn_hashtbl.set h ((i * ndomains) + d) d
+         done));
+  Alcotest.(check int) "all keys present" (ndomains * per)
+    (Tm_stm.Txn_hashtbl.length h);
+  Alcotest.(check (option int)) "spot check" (Some 1)
+    (Tm_stm.Txn_hashtbl.find h (ndomains + 1))
+
+(* Model-based sequential check of the core runtime: random transactional
+   programs against a reference association list, including mid-program
+   user aborts (exception) whose writes must all vanish. *)
+let test_stm_model =
+  QCheck2.Test.make ~count:150 ~name:"Stm behaves like an atomic store"
+    QCheck2.Gen.(list (triple (int_bound 3) (int_bound 4) (int_bound 9)))
+    (fun programs ->
+      let tvars = Array.init 5 (fun _ -> Stm.tvar 0) in
+      let model = Array.make 5 0 in
+      let exception User_abort in
+      List.iter
+        (fun (kind, x, v) ->
+          match kind with
+          | 0 ->
+              Stm.atomically (fun () -> Stm.write tvars.(x) v);
+              model.(x) <- v
+          | 1 ->
+              let got = Stm.atomically (fun () -> Stm.read tvars.(x)) in
+              if got <> model.(x) then failwith "read mismatch"
+          | 2 ->
+              (* A transaction that writes two t-variables then aborts by
+                 exception: nothing may survive. *)
+              (try
+                 Stm.atomically (fun () ->
+                     Stm.write tvars.(x) (v + 100);
+                     Stm.write tvars.((x + 1) mod 5) (v + 200);
+                     raise User_abort)
+               with User_abort -> ())
+          | _ ->
+              Stm.atomically (fun () ->
+                  Stm.write tvars.(x) (Stm.read tvars.(x) + v));
+              model.(x) <- model.(x) + v)
+        programs;
+      Array.for_all2 ( = ) model (Array.map Stm.read tvars))
+
+(* ------------------------------------------------------------------ *)
+(* The global-lock runtime (Stm_lock): same API, no aborts ever. *)
+
+module L = Tm_stm.Stm_lock
+
+let test_lock_stm_basic () =
+  let v = L.tvar 1 in
+  let r =
+    L.atomically (fun () ->
+        L.write v (L.read v + 10);
+        L.read v)
+  in
+  Alcotest.(check int) "reads own write" 11 r;
+  Alcotest.(check int) "committed" 11 (L.read v);
+  Alcotest.check_raises "write outside transaction"
+    (Invalid_argument "Stm_lock.write outside a transaction") (fun () ->
+      L.write v 0)
+
+let test_lock_stm_every_txn_commits () =
+  let before = L.commits () in
+  let v = L.tvar 0 in
+  for _ = 1 to 50 do
+    L.atomically (fun () -> L.write v (L.read v + 1))
+  done;
+  Alcotest.(check int) "fifty increments" 50 (L.read v);
+  Alcotest.(check bool) "every transaction commits (no aborts exist)" true
+    (L.commits () - before >= 50)
+
+let test_lock_stm_parallel_counter () =
+  let v = L.tvar 0 in
+  let iters = 3000 in
+  spawn_all
+    (List.init ndomains (fun _ () ->
+         for _ = 1 to iters do
+           L.atomically (fun () -> L.write v (L.read v + 1))
+         done));
+  Alcotest.(check int) "no lost updates" (ndomains * iters) (L.read v)
+
+let test_stats_move () =
+  let before_c, _ = Stm.stats () in
+  let v = Stm.tvar 0 in
+  Stm.atomically (fun () -> Stm.write v 1);
+  let after_c, _ = Stm.stats () in
+  Alcotest.(check bool) "commit counted" true (after_c > before_c)
+
+let () =
+  Alcotest.run "tm_stm"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "read/write" `Quick test_basic_read_write;
+          Alcotest.test_case "rollback on exception" `Quick
+            test_rollback_on_exception;
+          Alcotest.test_case "write outside rejected" `Quick
+            test_write_outside_rejected;
+          Alcotest.test_case "snapshot read outside" `Quick
+            test_snapshot_read_outside;
+          Alcotest.test_case "nesting flattens" `Quick test_nesting_flattens;
+          Alcotest.test_case "two tvars" `Quick test_two_tvars_consistent;
+          Alcotest.test_case "polymorphic tvars" `Quick test_polymorphic_tvars;
+          Alcotest.test_case "stats" `Quick test_stats_move;
+          QCheck_alcotest.to_alcotest test_stm_model;
+        ] );
+      ( "data structures",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          QCheck_alcotest.to_alcotest test_list_model;
+          Alcotest.test_case "queue fifo" `Quick test_queue_fifo;
+          Alcotest.test_case "stack" `Quick test_stack;
+          QCheck_alcotest.to_alcotest test_map_model;
+          Alcotest.test_case "map sequential" `Quick test_map_sequential;
+          Alcotest.test_case "hashtbl" `Quick test_hashtbl;
+        ] );
+      ( "global-lock runtime",
+        [
+          Alcotest.test_case "basics" `Quick test_lock_stm_basic;
+          Alcotest.test_case "every transaction commits" `Quick
+            test_lock_stm_every_txn_commits;
+          Alcotest.test_case "parallel counter" `Slow
+            test_lock_stm_parallel_counter;
+        ] );
+      ( "multicore stress",
+        [
+          Alcotest.test_case "parallel counter" `Slow test_parallel_counter;
+          Alcotest.test_case "parallel bank" `Slow test_parallel_bank;
+          Alcotest.test_case "parallel list" `Slow test_parallel_list;
+          Alcotest.test_case "parallel queue" `Slow test_parallel_queue;
+          Alcotest.test_case "parallel map" `Slow test_parallel_map;
+          Alcotest.test_case "parallel stack" `Slow test_parallel_stack;
+          Alcotest.test_case "parallel hashtbl" `Slow test_parallel_hashtbl;
+        ] );
+    ]
