@@ -6,7 +6,9 @@
      simulate - run a TM under a schedule (optionally with faults) and
                 check safety of the produced history
      game     - run the Theorem-1 adversary against a TM
-     matrix   - the Section-3.2.3 solo-progress matrix *)
+     matrix   - the Section-3.2.3 solo-progress matrix
+     sweep    - run a (TM x fault x seed) grid across domains with metrics
+     model-check - exhaustively check every bounded-depth schedule *)
 
 open Cmdliner
 
@@ -258,10 +260,10 @@ let monitor_cmd =
           monitor.")
     Term.(const run $ tm_arg $ nprocs $ ntvars $ steps $ seed)
 
-let sweep_cmd =
+let model_check_cmd =
   let run entry depth =
     let checked = ref 0 and bad = ref 0 and fallback = ref 0 in
-    Tm_sim.Sweep.run entry ~nprocs:2 ~ntvars:1
+    Tm_sim.Sweep.Exhaustive.run entry ~nprocs:2 ~ntvars:1
       ~invocations:
         [
           Tm_history.Event.Read 0;
@@ -289,11 +291,131 @@ let sweep_cmd =
     Arg.(value & opt int 8 & info [ "d"; "depth" ] ~doc:"Schedule depth.")
   in
   Cmd.v
-    (Cmd.info "sweep"
+    (Cmd.info "model-check"
        ~doc:
          "Exhaustively model-check every schedule of a bounded depth for \
           opacity.")
     Term.(const run $ tm_arg $ depth)
+
+let sweep_cmd =
+  let run tms faults seeds nprocs ntvars steps sched jobs metrics_file =
+    let jobs = max 1 jobs in
+    let tms = match tms with [] -> Tm_impl.Registry.all | tms -> tms in
+    let all_patterns =
+      Tm_sim.Sweep.fault_patterns ~nprocs ~ntvars ~steps ~sched ()
+    in
+    let patterns =
+      match faults with
+      | [] -> all_patterns
+      | names ->
+          (* Names were validated by [fault_conv]; the assoc cannot fail. *)
+          List.map (fun n -> (n, List.assoc n all_patterns)) names
+    in
+    let configs =
+      Tm_sim.Sweep.grid ~tms ~patterns
+        ~seeds:(List.init seeds (fun i -> i + 1))
+        ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let results =
+      if jobs > 1 then
+        Tm_sim.Pool.with_pool ~jobs (fun pool ->
+            Tm_sim.Sweep.run ~pool configs)
+      else Tm_sim.Sweep.run configs
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    Fmt.pr "%a" Tm_sim.Sweep.pp_table results;
+    Fmt.pr "@.per-TM aggregates (merged over %d patterns x %d seeds):@."
+      (List.length patterns) seeds;
+    List.iter
+      (fun (name, m) -> Fmt.pr "%-18s %a@." name Tm_sim.Metrics.pp m)
+      (Tm_sim.Sweep.by_tm results);
+    (match metrics_file with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Tm_sim.Sweep.to_json results);
+        output_char oc '\n';
+        close_out oc;
+        Fmt.pr "@.metrics written to %s@." file);
+    (* Wall-clock goes to stderr: stdout (and the metrics JSON) must be
+       byte-identical across --jobs values. *)
+    Fmt.epr "sweep: %d runs in %.3fs (%d jobs)@." (List.length results) dt
+      jobs
+  in
+  let tms =
+    Arg.(
+      value
+      & opt (list tm_conv) []
+      & info [ "tm" ] ~docv:"NAMES"
+          ~doc:"Comma-separated TM names to sweep (default: the whole zoo).")
+  in
+  let fault_conv =
+    let names () =
+      List.map fst (Tm_sim.Sweep.fault_patterns ())
+    in
+    let parse s =
+      if List.mem s (names ()) then Ok s
+      else
+        Error
+          (`Msg
+            (Fmt.str "unknown fault pattern %S (try: %s)" s
+               (String.concat ", " (names ()))))
+    in
+    Arg.conv (parse, Fmt.string)
+  in
+  let faults =
+    Arg.(
+      value
+      & opt (list fault_conv) []
+      & info [ "faults" ] ~docv:"PATTERNS"
+          ~doc:
+            "Comma-separated fault patterns: healthy, crash, parasite, \
+             mixed (default: all four).")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 4
+      & info [ "seeds" ] ~doc:"Number of seeds per configuration (1..N).")
+  in
+  let nprocs =
+    Arg.(value & opt int 3 & info [ "p"; "procs" ] ~doc:"Number of processes.")
+  in
+  let ntvars =
+    Arg.(value & opt int 4 & info [ "t"; "tvars" ] ~doc:"Number of t-variables.")
+  in
+  let steps =
+    Arg.(value & opt int 1000 & info [ "n"; "steps" ] ~doc:"Simulation steps.")
+  in
+  let sched =
+    Arg.(
+      value
+      & opt sched_conv Tm_sim.Runner.Uniform
+      & info [ "sched" ] ~doc:"Scheduler: rr, uniform, or a quantum size.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ]
+          ~doc:
+            "Worker domains to shard the sweep across; results are \
+             bit-for-bit identical for every value.")
+  in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write the per-run and per-TM metrics JSON document here.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run a (TM x fault-pattern x seed) configuration grid, optionally \
+          sharded across domains, and report per-run metrics.")
+    Term.(
+      const run $ tms $ faults $ seeds $ nprocs $ ntvars $ steps $ sched
+      $ jobs $ metrics_file)
 
 type explore_action = E_invoke of Tm_history.Event.invocation | E_poll
 
@@ -476,6 +598,6 @@ let () =
        (Cmd.group info
           [
             zoo_cmd; figures_cmd; simulate_cmd; game_cmd; matrix_cmd;
-            monitor_cmd; sweep_cmd; explore_cmd; crash_windows_cmd; dump_cmd;
-            check_cmd;
+            monitor_cmd; sweep_cmd; model_check_cmd; explore_cmd;
+            crash_windows_cmd; dump_cmd; check_cmd;
           ]))

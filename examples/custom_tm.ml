@@ -125,7 +125,7 @@ let fixed =
 let validate entry ~depth =
   let counterexample = ref None in
   let checked = ref 0 in
-  Tm_sim.Sweep.run entry ~nprocs:2 ~ntvars:2
+  Tm_sim.Sweep.Exhaustive.run entry ~nprocs:2 ~ntvars:2
     ~invocations:
       [ Event.Read 0; Event.Read 1; Event.Write (0, 1); Event.Write (1, 1);
         Event.Try_commit ]

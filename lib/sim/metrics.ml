@@ -1,0 +1,196 @@
+open Tm_history
+
+let nbuckets = 15
+
+type histogram = {
+  buckets : int array;
+  count : int;
+  sum : int;
+  max_sample : int;
+}
+
+let hist_empty =
+  { buckets = Array.make nbuckets 0; count = 0; sum = 0; max_sample = 0 }
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v lsr 1) in
+    min (nbuckets - 1) (log2 0 v + 1)
+  end
+
+let hist_add h v =
+  let buckets = Array.copy h.buckets in
+  let b = bucket_of v in
+  buckets.(b) <- buckets.(b) + 1;
+  {
+    buckets;
+    count = h.count + 1;
+    sum = h.sum + v;
+    max_sample = max h.max_sample v;
+  }
+
+let hist_merge a b =
+  {
+    buckets = Array.init nbuckets (fun i -> a.buckets.(i) + b.buckets.(i));
+    count = a.count + b.count;
+    sum = a.sum + b.sum;
+    max_sample = max a.max_sample b.max_sample;
+  }
+
+let hist_mean h =
+  if h.count = 0 then 0.0 else float_of_int h.sum /. float_of_int h.count
+
+let hist_bucket_label k =
+  if k = 0 then "0"
+  else if k = 1 then "1"
+  else begin
+    let lo = 1 lsl (k - 1) in
+    if k = nbuckets - 1 then Fmt.str "%d+" lo
+    else Fmt.str "%d-%d" lo ((1 lsl k) - 1)
+  end
+
+type abort_causes = { on_read : int; on_write : int; on_commit : int }
+
+type t = {
+  commits : int;
+  aborts : int;
+  invocations : int;
+  defers : int;
+  steps : int;
+  events : int;
+  throughput : float;
+  abort_causes : abort_causes;
+  retry_depth : histogram;
+  commit_latency : histogram;
+  abort_latency : histogram;
+}
+
+(* Walk the history once, tracking per process the index of its current
+   transaction's first invocation, its pending invocation (the abort
+   cause), and its streak of consecutive aborts (the retry depth recorded
+   at the next commit). *)
+let of_history h =
+  let nprocs =
+    List.fold_left (fun acc p -> max acc p) 0 (History.procs h)
+  in
+  let txn_start = Array.make (nprocs + 1) (-1) in
+  let pending = Array.make (nprocs + 1) None in
+  let retries = Array.make (nprocs + 1) 0 in
+  let causes = ref { on_read = 0; on_write = 0; on_commit = 0 } in
+  let retry_depth = ref hist_empty in
+  let commit_latency = ref hist_empty in
+  let abort_latency = ref hist_empty in
+  List.iteri
+    (fun i e ->
+      match (e : Event.t) with
+      | Event.Inv (p, inv) ->
+          if txn_start.(p) < 0 then txn_start.(p) <- i;
+          pending.(p) <- Some inv
+      | Event.Res (p, resp) -> (
+          let latency () = i - max 0 txn_start.(p) in
+          match resp with
+          | Event.Value _ | Event.Ok_written -> pending.(p) <- None
+          | Event.Committed ->
+              commit_latency := hist_add !commit_latency (latency ());
+              retry_depth := hist_add !retry_depth retries.(p);
+              retries.(p) <- 0;
+              txn_start.(p) <- -1;
+              pending.(p) <- None
+          | Event.Aborted ->
+              (causes :=
+                 let c = !causes in
+                 match pending.(p) with
+                 | Some (Event.Read _) -> { c with on_read = c.on_read + 1 }
+                 | Some (Event.Write _) -> { c with on_write = c.on_write + 1 }
+                 | Some Event.Try_commit | None ->
+                     { c with on_commit = c.on_commit + 1 });
+              abort_latency := hist_add !abort_latency (latency ());
+              retries.(p) <- retries.(p) + 1;
+              txn_start.(p) <- -1;
+              pending.(p) <- None))
+    (History.events h);
+  (!causes, !retry_depth, !commit_latency, !abort_latency)
+
+let of_outcome (o : Runner.outcome) =
+  let abort_causes, retry_depth, commit_latency, abort_latency =
+    of_history o.Runner.history
+  in
+  {
+    commits = Runner.commit_total o;
+    aborts = Runner.abort_total o;
+    invocations = Runner.total o.Runner.invocations;
+    defers = Runner.total o.Runner.defers;
+    steps = o.Runner.steps_taken;
+    events = History.length o.Runner.history;
+    throughput = Runner.throughput o;
+    abort_causes;
+    retry_depth;
+    commit_latency;
+    abort_latency;
+  }
+
+let merge a b =
+  let steps = a.steps + b.steps in
+  let commits = a.commits + b.commits in
+  {
+    commits;
+    aborts = a.aborts + b.aborts;
+    invocations = a.invocations + b.invocations;
+    defers = a.defers + b.defers;
+    steps;
+    events = a.events + b.events;
+    throughput =
+      (if steps = 0 then 0.0 else float_of_int commits /. float_of_int steps);
+    abort_causes =
+      {
+        on_read = a.abort_causes.on_read + b.abort_causes.on_read;
+        on_write = a.abort_causes.on_write + b.abort_causes.on_write;
+        on_commit = a.abort_causes.on_commit + b.abort_causes.on_commit;
+      };
+    retry_depth = hist_merge a.retry_depth b.retry_depth;
+    commit_latency = hist_merge a.commit_latency b.commit_latency;
+    abort_latency = hist_merge a.abort_latency b.abort_latency;
+  }
+
+(* A hand-rolled JSON emitter: the only consumer requirements are a stable
+   key order and byte-stable number formatting, so sequential and parallel
+   sweeps serialize identically. *)
+let json_hist buf h =
+  Buffer.add_string buf
+    (Fmt.str "{\"count\":%d,\"sum\":%d,\"max\":%d,\"mean\":%.6f,\"buckets\":["
+       h.count h.sum h.max_sample (hist_mean h));
+  Array.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int c))
+    h.buckets;
+  Buffer.add_string buf "]}"
+
+let to_json buf m =
+  Buffer.add_string buf
+    (Fmt.str
+       "{\"commits\":%d,\"aborts\":%d,\"invocations\":%d,\"defers\":%d,\"steps\":%d,\"events\":%d,\"throughput\":%.6f,"
+       m.commits m.aborts m.invocations m.defers m.steps m.events m.throughput);
+  Buffer.add_string buf
+    (Fmt.str
+       "\"abort_causes\":{\"read\":%d,\"write\":%d,\"commit\":%d},"
+       m.abort_causes.on_read m.abort_causes.on_write m.abort_causes.on_commit);
+  Buffer.add_string buf "\"retry_depth\":";
+  json_hist buf m.retry_depth;
+  Buffer.add_string buf ",\"commit_latency\":";
+  json_hist buf m.commit_latency;
+  Buffer.add_string buf ",\"abort_latency\":";
+  json_hist buf m.abort_latency;
+  Buffer.add_char buf '}'
+
+let pp ppf m =
+  Fmt.pf ppf
+    "@[<v>commits %d, aborts %d (read %d / write %d / commit %d), defers %d@,\
+     throughput %.4f commits/step, commit latency mean %.1f ev (max %d), \
+     retry depth mean %.2f (max %d)@]"
+    m.commits m.aborts m.abort_causes.on_read m.abort_causes.on_write
+    m.abort_causes.on_commit m.defers m.throughput
+    (hist_mean m.commit_latency)
+    m.commit_latency.max_sample (hist_mean m.retry_depth)
+    m.retry_depth.max_sample

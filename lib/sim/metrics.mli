@@ -1,0 +1,69 @@
+(** Per-run observability for the simulation runner.
+
+    A {!t} condenses one {!Runner.outcome} into the numbers the sweep
+    engine reports and exports: commit/abort counts, the abort-cause
+    breakdown (which kind of operation the TM aborted the transaction
+    on), the retry-depth distribution (how many consecutive aborts a
+    process accumulated before each commit) and latency histograms for
+    committed and aborted transactions.
+
+    Latencies are measured in {e history events} between a transaction's
+    first invocation and its commit/abort response — a deterministic,
+    hardware-independent clock, so metrics (like outcomes) are bit-for-bit
+    reproducible from the spec's seed.  Wall-clock time is deliberately
+    not part of a metrics value; the sweep engine reports it separately so
+    parallel and sequential sweeps produce identical metrics. *)
+
+(** {2 Histograms} *)
+
+type histogram = {
+  buckets : int array;
+      (** [nbuckets] counters; bucket 0 counts value 0, bucket [k >= 1]
+          counts values in [\[2^(k-1), 2^k)], the last bucket overflows *)
+  count : int;
+  sum : int;
+  max_sample : int;
+}
+
+val nbuckets : int
+
+val hist_empty : histogram
+val hist_add : histogram -> int -> histogram
+val hist_merge : histogram -> histogram -> histogram
+val hist_mean : histogram -> float
+
+val hist_bucket_label : int -> string
+(** ["0"], ["1"], ["2-3"], ["4-7"], ..., ["8192+"]. *)
+
+(** {2 Run metrics} *)
+
+type abort_causes = {
+  on_read : int;  (** the TM aborted a transaction on a read *)
+  on_write : int;
+  on_commit : int;  (** validation failed at [tryC] *)
+}
+
+type t = {
+  commits : int;
+  aborts : int;
+  invocations : int;
+  defers : int;
+  steps : int;
+  events : int;  (** history length *)
+  throughput : float;  (** commits per simulation step *)
+  abort_causes : abort_causes;
+  retry_depth : histogram;
+      (** consecutive aborts accumulated before each commit *)
+  commit_latency : histogram;
+      (** events from first invocation to the commit response *)
+  abort_latency : histogram;
+}
+
+val of_outcome : Runner.outcome -> t
+val merge : t -> t -> t
+
+val to_json : Buffer.t -> t -> unit
+(** Appends the run's metrics as one deterministic JSON object (stable key
+    order, no whitespace variation). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,48 +1,166 @@
 open Tm_history
 
-type action = Invoke of Event.proc * Event.invocation | Poll of Event.proc
+type config = {
+  tm : Tm_impl.Registry.entry;
+  pattern : string;
+  seed : int;
+  spec : Runner.spec;
+}
 
-let fresh entry ~nprocs ~ntvars =
-  Tm_impl.Registry.instance entry
-    (Tm_impl.Tm_intf.config ~nprocs ~ntvars ())
+let label c =
+  Fmt.str "%s/%s/seed=%d" c.tm.Tm_impl.Registry.entry_name c.pattern c.seed
 
-(* Replay an action sequence on a fresh instance, recording the history. *)
-let replay entry ~nprocs ~ntvars actions =
-  let tm = fresh entry ~nprocs ~ntvars in
-  let h = ref History.empty in
-  List.iter
-    (fun a ->
-      match a with
-      | Invoke (p, inv) ->
-          tm.Tm_impl.Tm_intf.invoke p inv;
-          h := History.append !h (Event.Inv (p, inv))
-      | Poll p -> (
-          match tm.Tm_impl.Tm_intf.poll p with
-          | Some r -> h := History.append !h (Event.Res (p, r))
-          | None -> ()))
-    actions;
-  (tm, !h)
-
-let enabled tm ~nprocs ~invocations =
-  List.concat_map
-    (fun p ->
-      match tm.Tm_impl.Tm_intf.pending p with
-      | Some _ -> [ Poll p ]
-      | None -> List.map (fun inv -> Invoke (p, inv)) invocations)
-    (List.init nprocs (fun i -> i + 1))
-
-let run entry ~nprocs ~ntvars ~invocations ~depth ~on_history =
-  let rec dfs actions d =
-    let tm, h = replay entry ~nprocs ~ntvars actions in
-    on_history h actions;
-    if d > 0 then
-      List.iter
-        (fun a -> dfs (actions @ [ a ]) (d - 1))
-        (enabled tm ~nprocs ~invocations)
+let fault_patterns ?(nprocs = 3) ?(ntvars = 4) ?(steps = 1000)
+    ?(sched = Runner.Uniform) () =
+  let spec ?(fates = []) ~seed () =
+    Runner.spec ~nprocs ~ntvars ~steps ~seed ~sched ~fates ()
   in
-  dfs [] depth
+  [
+    ("healthy", fun ~seed -> spec ~seed ());
+    ("crash", fun ~seed -> spec ~fates:[ (1, Runner.Crash_after_write 1) ] ~seed ());
+    ( "parasite",
+      fun ~seed -> spec ~fates:[ (1, Runner.Parasitic_from (steps / 10)) ] ~seed () );
+    ( "mixed",
+      fun ~seed ->
+        spec
+          ~fates:
+            [
+              (1, Runner.Crash_at (steps / 2));
+              (2, Runner.Parasitic_from (steps / 10));
+            ]
+          ~seed () );
+  ]
 
-let count_nodes entry ~nprocs ~ntvars ~invocations ~depth =
-  let n = ref 0 in
-  run entry ~nprocs ~ntvars ~invocations ~depth ~on_history:(fun _ _ -> incr n);
-  !n
+let grid ?tms ?patterns ~seeds () =
+  let tms = match tms with Some l -> l | None -> Tm_impl.Registry.all in
+  let patterns =
+    match patterns with Some l -> l | None -> fault_patterns ()
+  in
+  List.concat_map
+    (fun tm ->
+      List.concat_map
+        (fun (pattern, mk) ->
+          List.map (fun seed -> { tm; pattern; seed; spec = mk ~seed }) seeds)
+        patterns)
+    tms
+
+type result = {
+  r_config : config;
+  r_outcome : Runner.outcome;
+  r_metrics : Metrics.t;
+}
+
+let run_one c =
+  let outcome = Runner.run c.tm c.spec in
+  { r_config = c; r_outcome = outcome; r_metrics = Metrics.of_outcome outcome }
+
+let run ?pool configs =
+  let configs = Array.of_list configs in
+  let results =
+    match pool with
+    | Some p when Pool.jobs p > 1 -> Pool.map_array p run_one configs
+    | Some _ | None -> Array.map run_one configs
+  in
+  Array.to_list results
+
+let by_tm results =
+  List.fold_left
+    (fun acc r ->
+      let name = r.r_config.tm.Tm_impl.Registry.entry_name in
+      match List.assoc_opt name acc with
+      | Some _ ->
+          List.map
+            (fun (n, m') ->
+              if n = name then (n, Metrics.merge m' r.r_metrics) else (n, m'))
+            acc
+      | None -> acc @ [ (name, r.r_metrics) ])
+    [] results
+
+let to_json results =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"runs\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Fmt.str "{\"tm\":%S,\"pattern\":%S,\"seed\":%d,\"metrics\":"
+           r.r_config.tm.Tm_impl.Registry.entry_name r.r_config.pattern
+           r.r_config.seed);
+      Metrics.to_json buf r.r_metrics;
+      Buffer.add_char buf '}')
+    results;
+  Buffer.add_string buf "],\"by_tm\":[";
+  List.iteri
+    (fun i (name, m) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Fmt.str "{\"tm\":%S,\"metrics\":" name);
+      Metrics.to_json buf m;
+      Buffer.add_char buf '}')
+    (by_tm results);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let pp_table ppf results =
+  Fmt.pf ppf "%-36s %8s %8s %-17s %8s %9s@." "config" "commits" "aborts"
+    "abort r/w/c" "defers" "lat-mean";
+  List.iter
+    (fun r ->
+      let m = r.r_metrics in
+      Fmt.pf ppf "%-36s %8d %8d %5d/%5d/%5d %8d %9.1f@."
+        (label r.r_config) m.Metrics.commits m.Metrics.aborts
+        m.Metrics.abort_causes.Metrics.on_read
+        m.Metrics.abort_causes.Metrics.on_write
+        m.Metrics.abort_causes.Metrics.on_commit m.Metrics.defers
+        (Metrics.hist_mean m.Metrics.commit_latency))
+    results
+
+module Exhaustive = struct
+  type action = Invoke of Event.proc * Event.invocation | Poll of Event.proc
+
+  let fresh entry ~nprocs ~ntvars =
+    Tm_impl.Registry.instance entry
+      (Tm_impl.Tm_intf.config ~nprocs ~ntvars ())
+
+  (* Replay an action sequence on a fresh instance, recording the
+     history. *)
+  let replay entry ~nprocs ~ntvars actions =
+    let tm = fresh entry ~nprocs ~ntvars in
+    let h = ref History.empty in
+    List.iter
+      (fun a ->
+        match a with
+        | Invoke (p, inv) ->
+            tm.Tm_impl.Tm_intf.invoke p inv;
+            h := History.append !h (Event.Inv (p, inv))
+        | Poll p -> (
+            match tm.Tm_impl.Tm_intf.poll p with
+            | Some r -> h := History.append !h (Event.Res (p, r))
+            | None -> ()))
+      actions;
+    (tm, !h)
+
+  let enabled tm ~nprocs ~invocations =
+    List.concat_map
+      (fun p ->
+        match tm.Tm_impl.Tm_intf.pending p with
+        | Some _ -> [ Poll p ]
+        | None -> List.map (fun inv -> Invoke (p, inv)) invocations)
+      (List.init nprocs (fun i -> i + 1))
+
+  let run entry ~nprocs ~ntvars ~invocations ~depth ~on_history =
+    let rec dfs actions d =
+      let tm, h = replay entry ~nprocs ~ntvars actions in
+      on_history h actions;
+      if d > 0 then
+        List.iter
+          (fun a -> dfs (actions @ [ a ]) (d - 1))
+          (enabled tm ~nprocs ~invocations)
+    in
+    dfs [] depth
+
+  let count_nodes entry ~nprocs ~ntvars ~invocations ~depth =
+    let n = ref 0 in
+    run entry ~nprocs ~ntvars ~invocations ~depth ~on_history:(fun _ _ ->
+        incr n);
+    !n
+end

@@ -1,5 +1,75 @@
 open Tm_history
 
+(** The sweep engine: run a grid of (TM × fault pattern × seed)
+    configurations — sequentially or sharded across a {!Pool} of domains —
+    and collect a {!Metrics.t} per run.
+
+    Determinism is the design constraint: every configuration carries its
+    own seed, {!Runner.run} derives all of a run's randomness from that
+    seed via its own splittable PRNG stream, and results are merged back
+    in the canonical grid order (TM-major, then pattern, then seed).  A
+    parallel sweep is therefore bit-for-bit equal to a sequential one —
+    {!to_json} on both yields identical bytes — which the differential
+    test suite asserts. *)
+
+type config = {
+  tm : Tm_impl.Registry.entry;
+  pattern : string;  (** fault-pattern name, e.g. ["healthy"], ["crash"] *)
+  seed : int;
+  spec : Runner.spec;
+}
+
+val label : config -> string
+(** ["tl2/crash/seed=3"]. *)
+
+val fault_patterns :
+  ?nprocs:int ->
+  ?ntvars:int ->
+  ?steps:int ->
+  ?sched:Runner.sched ->
+  unit ->
+  (string * (seed:int -> Runner.spec)) list
+(** The standard fault grid (defaults: 3 processes, 4 t-variables, 1000
+    steps, uniform scheduling):
+    - ["healthy"]: no faults;
+    - ["crash"]: process 1 crashes after its first write;
+    - ["parasite"]: process 1 turns parasitic at a tenth of the run;
+    - ["mixed"]: process 1 crashes mid-run, process 2 turns parasitic. *)
+
+val grid :
+  ?tms:Tm_impl.Registry.entry list ->
+  ?patterns:(string * (seed:int -> Runner.spec)) list ->
+  seeds:int list ->
+  unit ->
+  config list
+(** The cross product in canonical order (TM-major, then pattern, then
+    seed).  Defaults: every registered TM, {!fault_patterns} defaults. *)
+
+type result = {
+  r_config : config;
+  r_outcome : Runner.outcome;
+  r_metrics : Metrics.t;
+}
+
+val run : ?pool:Pool.t -> config list -> result list
+(** Execute every configuration and return results in the input order.
+    Without a pool (or with a 1-job pool) the sweep runs sequentially in
+    the caller; either way the results are identical. *)
+
+val by_tm : result list -> (string * Metrics.t) list
+(** Metrics aggregated per TM (merged over patterns and seeds), in order
+    of first appearance. *)
+
+val to_json : result list -> string
+(** The sweep's metrics document:
+    [{"runs":[{"tm","pattern","seed","metrics"}...],
+      "by_tm":[{"tm","metrics"}...]}] — deterministic bytes, no
+    wall-clock content. *)
+
+val pp_table : Format.formatter -> result list -> unit
+(** One line per run: label, commits, aborts by cause, defers, mean
+    commit latency. *)
+
 (** Exhaustive schedule enumeration for model-checking a TM.
 
     Enumerates {e every} interleaving of up to [depth] scheduler actions —
@@ -13,26 +83,28 @@ open Tm_history
     nodes).
 
     Combined with the linear-time {!Tm_safety.Monitor} this gives a small
-    bounded model checker: [Sweep.run] over all schedules, monitor each
-    history, fall back to the exact checker on the rare [No_witness]. *)
+    bounded model checker: [Exhaustive.run] over all schedules, monitor
+    each history, fall back to the exact checker on the rare
+    [No_witness]. *)
+module Exhaustive : sig
+  type action = Invoke of Event.proc * Event.invocation | Poll of Event.proc
 
-type action = Invoke of Event.proc * Event.invocation | Poll of Event.proc
+  val run :
+    Tm_impl.Registry.entry ->
+    nprocs:int ->
+    ntvars:int ->
+    invocations:Event.invocation list ->
+    depth:int ->
+    on_history:(History.t -> action list -> unit) ->
+    unit
+  (** [on_history] is called on every node (including internal ones) with
+      the recorded history and the action sequence that produced it. *)
 
-val run :
-  Tm_impl.Registry.entry ->
-  nprocs:int ->
-  ntvars:int ->
-  invocations:Event.invocation list ->
-  depth:int ->
-  on_history:(History.t -> action list -> unit) ->
-  unit
-(** [on_history] is called on every node (including internal ones) with
-    the recorded history and the action sequence that produced it. *)
-
-val count_nodes :
-  Tm_impl.Registry.entry ->
-  nprocs:int ->
-  ntvars:int ->
-  invocations:Event.invocation list ->
-  depth:int ->
-  int
+  val count_nodes :
+    Tm_impl.Registry.entry ->
+    nprocs:int ->
+    ntvars:int ->
+    invocations:Event.invocation list ->
+    depth:int ->
+    int
+end

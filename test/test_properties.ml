@@ -1,0 +1,129 @@
+(* Property-based conformance of the checkers and codecs, on generated
+   histories (satellites of the sweep-engine PR).
+
+   The case count defaults to 500 per property and is capped in CI via the
+   TM_QCHECK_COUNT environment variable (see .github/workflows/ci.yml). *)
+
+open Tm_history
+
+let count =
+  match Sys.getenv_opt "TM_QCHECK_COUNT" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 500)
+  | None -> 500
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+(* A mixed corpus: arbitrary well-formed histories (mostly non-opaque),
+   faithful serial executions (always opaque), and corrupted serial
+   executions (never opaque). *)
+let history_of_seed seed =
+  let kind = seed mod 3 in
+  let seed = seed / 3 in
+  if kind = 0 then Generator.well_formed ~steps:16 seed
+  else
+    let h = Generator.serial ~transactions:5 seed in
+    if kind = 1 then h
+    else match Generator.mutate_read h seed with Some h' -> h' | None -> h
+
+let mixed_history_gen = QCheck2.Gen.map history_of_seed seed_gen
+
+let prefix h k =
+  History.of_events (List.filteri (fun i _ -> i < k) (History.events h))
+
+(* Section 2 of the paper: opacity is strictly stronger than strict
+   serializability. *)
+let test_opacity_implies_strict_ser =
+  QCheck2.Test.make ~count ~name:"opacity => strict serializability"
+    mixed_history_gen (fun h ->
+      (not (Tm_safety.Opacity.is_opaque h))
+      || Tm_safety.Serializability.is_strictly_serializable h)
+
+(* Opacity is a safety property, hence prefix-closed (Guerraoui & Kapalka);
+   serial histories are opaque by construction, so the property is never
+   vacuous on them. *)
+let test_opacity_prefix_closed =
+  QCheck2.Test.make ~count ~name:"opacity is prefix-closed"
+    QCheck2.Gen.(pair mixed_history_gen (int_range 0 200))
+    (fun (h, k) ->
+      (not (Tm_safety.Opacity.is_opaque h))
+      || Tm_safety.Opacity.is_opaque (prefix h (k mod (History.length h + 1))))
+
+let test_serial_opaque =
+  QCheck2.Test.make ~count ~name:"serial executions are opaque"
+    seed_gen (fun seed ->
+      Tm_safety.Opacity.is_opaque (Generator.serial ~transactions:5 seed))
+
+let test_mutated_serial_not_opaque =
+  QCheck2.Test.make ~count ~name:"corrupting one read breaks opacity"
+    seed_gen (fun seed ->
+      let h = Generator.serial ~transactions:5 seed in
+      match Generator.mutate_read h seed with
+      | None -> QCheck2.assume_fail ()
+      | Some h' -> not (Tm_safety.Opacity.is_opaque h'))
+
+(* The linear-time monitor is sound: Accepted implies opaque. *)
+let test_monitor_sound =
+  QCheck2.Test.make ~count ~name:"monitor acceptance implies opacity"
+    mixed_history_gen (fun h ->
+      match Tm_safety.Monitor.run h with
+      | Tm_safety.Monitor.Accepted -> Tm_safety.Opacity.is_opaque h
+      | Tm_safety.Monitor.No_witness _ -> true)
+
+(* Codec round trips: decode (encode h) = h. *)
+let test_codec_history_roundtrip =
+  QCheck2.Test.make ~count ~name:"codec round-trip: histories"
+    mixed_history_gen (fun h ->
+      match Codec.history_of_string (Codec.history_to_string h) with
+      | Ok h' -> History.equal h h'
+      | Error m -> QCheck2.Test.fail_reportf "decode failed: %s" m)
+
+let test_codec_lasso_roundtrip =
+  QCheck2.Test.make ~count ~name:"codec round-trip: lassos"
+    seed_gen (fun seed ->
+      let l = Generator.lasso seed in
+      match Codec.lasso_of_string (Codec.lasso_to_string l) with
+      | Ok l' ->
+          List.length l.Lasso.stem = List.length l'.Lasso.stem
+          && List.for_all2 Event.equal l.Lasso.stem l'.Lasso.stem
+          && List.length l.Lasso.cycle = List.length l'.Lasso.cycle
+          && List.for_all2 Event.equal l.Lasso.cycle l'.Lasso.cycle
+      | Error m -> QCheck2.Test.fail_reportf "decode failed: %s" m)
+
+let test_codec_event_roundtrip =
+  QCheck2.Test.make ~count ~name:"codec round-trip: single events"
+    mixed_history_gen (fun h ->
+      List.for_all
+        (fun e ->
+          match Codec.event_of_string (Codec.event_to_string e) with
+          | Ok e' -> Event.equal e e'
+          | Error _ -> false)
+        (History.events h))
+
+(* Generated well-formed histories are, in fact, well-formed (the
+   generator's own contract, which everything above leans on). *)
+let test_generator_well_formed =
+  QCheck2.Test.make ~count ~name:"generator emits well-formed histories"
+    mixed_history_gen History.is_well_formed
+
+let () =
+  Alcotest.run "tm_properties"
+    [
+      ( "safety properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            test_opacity_implies_strict_ser;
+            test_opacity_prefix_closed;
+            test_serial_opaque;
+            test_mutated_serial_not_opaque;
+            test_monitor_sound;
+          ] );
+      ( "codec round trips",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            test_codec_history_roundtrip;
+            test_codec_lasso_roundtrip;
+            test_codec_event_roundtrip;
+          ] );
+      ( "generators",
+        List.map QCheck_alcotest.to_alcotest [ test_generator_well_formed ] );
+    ]

@@ -199,13 +199,13 @@ let sweep_invocations = [ Event.Read 0; Event.Write (0, 1); Event.Try_commit ]
 let test_sweep_counts () =
   (* Depth-0 sweep visits exactly the empty history. *)
   let n =
-    Tm_sim.Sweep.count_nodes tl2 ~nprocs:1 ~ntvars:1
+    Tm_sim.Sweep.Exhaustive.count_nodes tl2 ~nprocs:1 ~ntvars:1
       ~invocations:sweep_invocations ~depth:0
   in
   Alcotest.(check int) "only the root" 1 n;
   (* Depth 1 with one process: root + 3 invocations. *)
   let n1 =
-    Tm_sim.Sweep.count_nodes tl2 ~nprocs:1 ~ntvars:1
+    Tm_sim.Sweep.Exhaustive.count_nodes tl2 ~nprocs:1 ~ntvars:1
       ~invocations:sweep_invocations ~depth:1
   in
   Alcotest.(check int) "root + 3" 4 n1
@@ -214,7 +214,8 @@ let sweep_tm_opaque name depth =
   let entry = Option.get (Reg.find name) in
   let bad = ref 0 in
   let checked = ref 0 in
-  Tm_sim.Sweep.run entry ~nprocs:2 ~ntvars:1 ~invocations:sweep_invocations
+  Tm_sim.Sweep.Exhaustive.run entry ~nprocs:2 ~ntvars:1
+    ~invocations:sweep_invocations
     ~depth ~on_history:(fun h _ ->
       incr checked;
       match Tm_safety.Monitor.run h with
@@ -231,6 +232,146 @@ let test_sweep_swisstm () = sweep_tm_opaque "swisstm" 7
 let test_sweep_fgp () = sweep_tm_opaque "fgp" 7
 let test_sweep_dstm () = sweep_tm_opaque "dstm-aggressive" 7
 let test_sweep_quiescent () = sweep_tm_opaque "quiescent" 7
+
+(* ------------------------------------------------------------------ *)
+(* The domain pool. *)
+
+let test_pool_map_order () =
+  Tm_sim.Pool.with_pool ~jobs:4 (fun pool ->
+      let xs = Array.init 100 Fun.id in
+      let ys = Tm_sim.Pool.map_array pool (fun x -> x * x) xs in
+      Alcotest.(check (array int)) "results in input order"
+        (Array.map (fun x -> x * x) xs)
+        ys;
+      (* A second batch on the same pool. *)
+      let zs = Tm_sim.Pool.map_list pool string_of_int [ 3; 1; 2 ] in
+      Alcotest.(check (list string)) "list map" [ "3"; "1"; "2" ] zs)
+
+let test_pool_single_job_inline () =
+  Tm_sim.Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "one job" 1 (Tm_sim.Pool.jobs pool);
+      let ran_in = ref (-1) in
+      let _ =
+        Tm_sim.Pool.map_array pool
+          (fun i ->
+            ran_in := (Domain.self () :> int);
+            i)
+          [| 0 |]
+      in
+      Alcotest.(check int) "ran in the caller's domain"
+        ((Domain.self () :> int))
+        !ran_in)
+
+let test_pool_propagates_exception () =
+  Tm_sim.Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.check_raises "exception resurfaces" Exit (fun () ->
+          ignore
+            (Tm_sim.Pool.map_array pool
+               (fun i -> if i = 7 then raise Exit else i)
+               (Array.init 20 Fun.id)));
+      (* The pool survives a failed batch. *)
+      let ok = Tm_sim.Pool.map_array pool succ [| 1; 2 |] in
+      Alcotest.(check (array int)) "pool still works" [| 2; 3 |] ok)
+
+let test_pool_shutdown_rejects () =
+  let pool = Tm_sim.Pool.create ~jobs:2 in
+  Tm_sim.Pool.shutdown pool;
+  Tm_sim.Pool.shutdown pool;
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.map_array: pool is shut down") (fun () ->
+      ignore (Tm_sim.Pool.map_array pool Fun.id (Array.init 8 Fun.id)))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics. *)
+
+let test_metrics_histogram () =
+  let h =
+    List.fold_left Tm_sim.Metrics.hist_add Tm_sim.Metrics.hist_empty
+      [ 0; 1; 2; 3; 4; 1000000 ]
+  in
+  Alcotest.(check int) "count" 6 h.Tm_sim.Metrics.count;
+  Alcotest.(check int) "max" 1000000 h.Tm_sim.Metrics.max_sample;
+  Alcotest.(check int) "bucket 0 (value 0)" 1 h.Tm_sim.Metrics.buckets.(0);
+  Alcotest.(check int) "bucket 1 (value 1)" 1 h.Tm_sim.Metrics.buckets.(1);
+  Alcotest.(check int) "bucket 2 (values 2-3)" 2 h.Tm_sim.Metrics.buckets.(2);
+  Alcotest.(check int) "bucket 3 (values 4-7)" 1 h.Tm_sim.Metrics.buckets.(3);
+  Alcotest.(check int) "overflow bucket" 1
+    h.Tm_sim.Metrics.buckets.(Tm_sim.Metrics.nbuckets - 1);
+  Alcotest.(check string) "labels" "4-7" (Tm_sim.Metrics.hist_bucket_label 3);
+  let m = Tm_sim.Metrics.hist_merge h h in
+  Alcotest.(check int) "merge doubles" 12 m.Tm_sim.Metrics.count
+
+let test_metrics_of_outcome () =
+  (* A hand-written history: p1 aborts once on a read, retries and
+     commits; p2 aborts at tryC. *)
+  let h =
+    History.steps
+      [
+        History.read_aborted 1 0;
+        History.read 1 0 0;
+        History.commit 1;
+        History.read 2 0 0;
+        History.abort 2;
+      ]
+  in
+  let outcome =
+    {
+      Tm_sim.Runner.history = h;
+      commits = [| 0; 1; 0 |];
+      aborts = [| 0; 1; 1 |];
+      invocations = [| 0; 3; 2 |];
+      defers = [| 0; 0; 0 |];
+      final_defer_streak = [| 0; 0; 0 |];
+      steps_taken = 10;
+    }
+  in
+  let m = Tm_sim.Metrics.of_outcome outcome in
+  Alcotest.(check int) "commits" 1 m.Tm_sim.Metrics.commits;
+  Alcotest.(check int) "aborts" 2 m.Tm_sim.Metrics.aborts;
+  Alcotest.(check int) "abort on read" 1
+    m.Tm_sim.Metrics.abort_causes.Tm_sim.Metrics.on_read;
+  Alcotest.(check int) "abort on commit" 1
+    m.Tm_sim.Metrics.abort_causes.Tm_sim.Metrics.on_commit;
+  Alcotest.(check int) "one commit at retry depth 1" 1
+    m.Tm_sim.Metrics.retry_depth.Tm_sim.Metrics.buckets.(1);
+  Alcotest.(check int) "commit latency samples" 1
+    m.Tm_sim.Metrics.commit_latency.Tm_sim.Metrics.count;
+  (* p1's committing transaction: Inv Read at index 2, Committed at
+     index 5, so latency 3. *)
+  Alcotest.(check int) "commit latency value" 3
+    m.Tm_sim.Metrics.commit_latency.Tm_sim.Metrics.sum;
+  let buf = Buffer.create 256 in
+  Tm_sim.Metrics.to_json buf m;
+  let json = Buffer.contents buf in
+  Alcotest.(check bool) "json has abort causes" true
+    (let needle = "\"abort_causes\":{\"read\":1,\"write\":0,\"commit\":1}" in
+     let rec contains i =
+       i + String.length needle <= String.length json
+       && (String.sub json i (String.length needle) = needle
+          || contains (i + 1))
+     in
+     contains 0)
+
+let test_sweep_grid_canonical_order () =
+  let tms = List.filter_map Reg.find [ "tl2"; "fgp" ] in
+  let configs =
+    Tm_sim.Sweep.grid ~tms
+      ~patterns:(Tm_sim.Sweep.fault_patterns ~steps:100 ())
+      ~seeds:[ 1; 2 ] ()
+  in
+  Alcotest.(check int) "2 TMs x 4 patterns x 2 seeds" 16 (List.length configs);
+  Alcotest.(check string) "TM-major order, then pattern, then seed"
+    "tl2/healthy/seed=1" (Tm_sim.Sweep.label (List.hd configs));
+  Alcotest.(check (list string)) "tl2 block precedes fgp block"
+    [ "tl2"; "fgp" ]
+    (List.sort_uniq
+       (fun a b ->
+         compare
+           (List.assoc a [ ("tl2", 0); ("fgp", 1) ])
+           (List.assoc b [ ("tl2", 0); ("fgp", 1) ]))
+       (List.map
+          (fun c -> c.Tm_sim.Sweep.tm.Reg.entry_name)
+          configs))
 
 (* ------------------------------------------------------------------ *)
 (* Statistics helpers. *)
@@ -353,6 +494,23 @@ let () =
             test_parasite_from_zero;
           Alcotest.test_case "quantum scheduler" `Quick test_quantum_scheduler;
           Alcotest.test_case "accounting" `Quick test_outcome_accounting;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
+          Alcotest.test_case "single job runs inline" `Quick
+            test_pool_single_job_inline;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_pool_propagates_exception;
+          Alcotest.test_case "shutdown rejects new work" `Quick
+            test_pool_shutdown_rejects;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram buckets" `Quick test_metrics_histogram;
+          Alcotest.test_case "of_outcome" `Quick test_metrics_of_outcome;
+          Alcotest.test_case "grid canonical order" `Quick
+            test_sweep_grid_canonical_order;
         ] );
       ( "stats",
         [ Alcotest.test_case "summaries and percentiles" `Quick test_stats ]

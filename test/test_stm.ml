@@ -308,6 +308,64 @@ let test_parallel_hashtbl () =
   Alcotest.(check (option int)) "spot check" (Some 1)
     (Tm_stm.Txn_hashtbl.find h (ndomains + 1))
 
+(* The bank hammer with snapshot observers: worker domains fire transfers
+   while observer domains repeatedly sum every account *twice inside one
+   transaction* — any transaction observing an inconsistent snapshot
+   (torn between two commits) would see the two sums differ, or a total
+   off the invariant.  This is the opacity claim of the runtime exercised
+   under real concurrency. *)
+let test_bank_snapshot_consistency () =
+  let accounts = 12 and initial = 100 in
+  let bank = Tm_stm.Txn_bank.make ~accounts ~initial in
+  let expected_total = accounts * initial in
+  let workers_done = Atomic.make 0 in
+  let nworkers = ndomains in
+  let violations = Atomic.make 0 in
+  let workers =
+    List.init nworkers (fun d () ->
+        let st = ref ((d * 7) + 1) in
+        let rand bound =
+          st := (!st * 1103515245) + 12345;
+          abs !st mod bound
+        in
+        for _ = 1 to 3000 do
+          let a = rand accounts in
+          let b = (a + 1 + rand (accounts - 1)) mod accounts in
+          ignore
+            (Tm_stm.Txn_bank.transfer bank ~from_:a ~to_:b ~amount:(1 + rand 7))
+        done;
+        Atomic.incr workers_done)
+  in
+  let observers =
+    List.init 2 (fun _ () ->
+        while Atomic.get workers_done < nworkers do
+          let sum1, sum2 =
+            Stm.atomically (fun () ->
+                let sum () =
+                  let acc = ref 0 in
+                  for i = 0 to accounts - 1 do
+                    acc := !acc + Tm_stm.Txn_bank.balance bank i
+                  done;
+                  !acc
+                in
+                let s1 = sum () in
+                let s2 = sum () in
+                (s1, s2))
+          in
+          if sum1 <> sum2 then Atomic.incr violations;
+          if sum1 <> expected_total then Atomic.incr violations
+        done)
+  in
+  spawn_all (workers @ observers);
+  Alcotest.(check int) "no transaction saw an inconsistent snapshot" 0
+    (Atomic.get violations);
+  Alcotest.(check int) "total balance invariant after the storm"
+    expected_total (Tm_stm.Txn_bank.total bank);
+  Alcotest.(check bool) "every account non-negative" true
+    (List.for_all
+       (fun i -> Tm_stm.Txn_bank.balance bank i >= 0)
+       (List.init accounts Fun.id))
+
 (* Model-based sequential check of the core runtime: random transactional
    programs against a reference association list, including mid-program
    user aborts (exception) whose writes must all vanish. *)
@@ -428,6 +486,8 @@ let () =
         [
           Alcotest.test_case "parallel counter" `Slow test_parallel_counter;
           Alcotest.test_case "parallel bank" `Slow test_parallel_bank;
+          Alcotest.test_case "bank snapshot consistency" `Slow
+            test_bank_snapshot_consistency;
           Alcotest.test_case "parallel list" `Slow test_parallel_list;
           Alcotest.test_case "parallel queue" `Slow test_parallel_queue;
           Alcotest.test_case "parallel map" `Slow test_parallel_map;
