@@ -42,6 +42,64 @@ let sched_conv =
   in
   Arg.conv (parse, print)
 
+let fault_conv =
+  let names () = List.map fst (Tm_sim.Sweep.fault_patterns ()) in
+  let parse s =
+    if List.mem s (names ()) then Ok s
+    else
+      Error
+        (`Msg
+          (Fmt.str "unknown fault pattern %S (try: %s)" s
+             (String.concat ", " (names ()))))
+  in
+  Arg.conv (parse, Fmt.string)
+
+let resolve_patterns ~nprocs ~ntvars ~steps ~sched faults =
+  let all = Tm_sim.Sweep.fault_patterns ~nprocs ~ntvars ~steps ~sched () in
+  match faults with
+  | [] -> all
+  | names ->
+      (* Names were validated by [fault_conv]; the assoc cannot fail. *)
+      List.map (fun n -> (n, List.assoc n all)) names
+
+(* ------------------------------------------------------------------ *)
+
+module Tev = Tm_trace.Trace_event
+
+let metadata_event ~pid label =
+  {
+    Tev.ts = 0;
+    pid;
+    tid = 0;
+    cat = Tev.Sched;
+    name = "process_name";
+    phase = Tev.Metadata;
+    args = [ ("name", Tev.Str label) ];
+  }
+
+(* A run's full trace: a process-name metadata record, the runner's
+   events, then the monitor's streamed verdict events — all tagged with
+   the run's grid index as pid, so a trace viewer shows one process lane
+   per configuration.  Composing in canonical grid order makes the merged
+   trace independent of how the sweep was sharded across jobs. *)
+let run_trace_events i (r : Tm_sim.Sweep.result) =
+  let retag (e : Tev.t) = { e with Tev.pid = i } in
+  let col = Tm_trace.Sink.collector () in
+  ignore
+    (Tm_safety.Monitor.run_traced
+       ~trace:(Tm_trace.Sink.collector_sink col)
+       r.Tm_sim.Sweep.r_outcome.Tm_sim.Runner.history);
+  (metadata_event ~pid:i (Tm_sim.Sweep.label r.Tm_sim.Sweep.r_config)
+  :: List.map retag r.Tm_sim.Sweep.r_trace)
+  @ List.map retag (Tm_trace.Sink.collected col)
+
+let combined_trace results = List.concat (List.mapi run_trace_events results)
+
+let write_trace_file file events =
+  let oc = open_out file in
+  Tm_trace.Export.to_chrome_channel oc events;
+  close_out oc
+
 (* ------------------------------------------------------------------ *)
 
 let zoo_cmd =
@@ -95,7 +153,7 @@ let tm_arg =
     & info [] ~docv:"TM" ~doc:"TM implementation (see $(b,zoo)).")
 
 let simulate_cmd =
-  let run entry nprocs ntvars steps seed sched crash parasitic =
+  let run entry nprocs ntvars steps seed sched crash parasitic trace_file =
     let fates =
       (match crash with
       | Some p -> [ (p, Tm_sim.Runner.Crash_after_write 1) ]
@@ -108,9 +166,35 @@ let simulate_cmd =
     let spec =
       Tm_sim.Runner.spec ~nprocs ~ntvars ~steps ~seed ~sched ~fates ()
     in
-    let o = Tm_sim.Runner.run entry spec in
+    let col =
+      match trace_file with
+      | Some _ -> Some (Tm_trace.Sink.collector ())
+      | None -> None
+    in
+    let o =
+      Tm_sim.Runner.run
+        ?trace:(Option.map Tm_trace.Sink.collector_sink col)
+        entry spec
+    in
     Fmt.pr "%a@.@." Tm_sim.Runner.pp_summary o;
     let h = o.Tm_sim.Runner.history in
+    (match (trace_file, col) with
+    | Some file, Some col ->
+        let mcol = Tm_trace.Sink.collector () in
+        ignore
+          (Tm_safety.Monitor.run_traced
+             ~trace:(Tm_trace.Sink.collector_sink mcol)
+             h);
+        let label =
+          Fmt.str "%s/simulate/seed=%d" entry.Tm_impl.Registry.entry_name seed
+        in
+        let events =
+          (metadata_event ~pid:0 label :: Tm_trace.Sink.collected col)
+          @ Tm_trace.Sink.collected mcol
+        in
+        write_trace_file file events;
+        Fmt.pr "trace: %d events written to %s@." (List.length events) file
+    | _ -> ());
     Fmt.pr "history length: %d events@." (Tm_history.History.length h);
     Fmt.pr "well-formed: %b@." (Tm_history.History.is_well_formed h);
     if Tm_history.History.length h <= 600 then begin
@@ -154,6 +238,16 @@ let simulate_cmd =
       & opt (some int) None
       & info [ "parasitic" ] ~doc:"Turn this process parasitic.")
   in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a structured trace of the run (runner spans, fault \
+             instants, monitor verdicts) and write it here as Chrome \
+             trace_event JSON (Perfetto-loadable).")
+  in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:
@@ -161,7 +255,7 @@ let simulate_cmd =
           the history.")
     Term.(
       const run $ tm_arg $ nprocs $ ntvars $ steps $ seed $ sched $ crash
-      $ parasitic)
+      $ parasitic $ trace_file)
 
 let game_cmd =
   let run entry alg rounds =
@@ -298,38 +392,51 @@ let model_check_cmd =
     Term.(const run $ tm_arg $ depth)
 
 let sweep_cmd =
-  let run tms faults seeds nprocs ntvars steps sched jobs metrics_file =
+  let run tms faults seeds nprocs ntvars steps sched jobs metrics_file
+      metrics_format trace_file =
     let jobs = max 1 jobs in
     let tms = match tms with [] -> Tm_impl.Registry.all | tms -> tms in
-    let all_patterns =
-      Tm_sim.Sweep.fault_patterns ~nprocs ~ntvars ~steps ~sched ()
-    in
-    let patterns =
-      match faults with
-      | [] -> all_patterns
-      | names ->
-          (* Names were validated by [fault_conv]; the assoc cannot fail. *)
-          List.map (fun n -> (n, List.assoc n all_patterns)) names
-    in
+    let patterns = resolve_patterns ~nprocs ~ntvars ~steps ~sched faults in
     let configs =
       Tm_sim.Sweep.grid ~tms ~patterns
         ~seeds:(List.init seeds (fun i -> i + 1))
         ()
     in
+    let trace = Option.is_some trace_file in
     let t0 = Unix.gettimeofday () in
     let results =
       if jobs > 1 then
         Tm_sim.Pool.with_pool ~jobs (fun pool ->
-            Tm_sim.Sweep.run ~pool configs)
-      else Tm_sim.Sweep.run configs
+            Tm_sim.Sweep.run ~pool ~trace configs)
+      else Tm_sim.Sweep.run ~trace configs
     in
     let dt = Unix.gettimeofday () -. t0 in
-    Fmt.pr "%a" Tm_sim.Sweep.pp_table results;
-    Fmt.pr "@.per-TM aggregates (merged over %d patterns x %d seeds):@."
-      (List.length patterns) seeds;
-    List.iter
-      (fun (name, m) -> Fmt.pr "%-18s %a@." name Tm_sim.Metrics.pp m)
-      (Tm_sim.Sweep.by_tm results);
+    (match metrics_format with
+    | `Json -> Fmt.pr "%s@." (Tm_sim.Sweep.to_json results)
+    | `Table ->
+        Fmt.pr "%a" Tm_sim.Sweep.pp_table results;
+        Fmt.pr "@.per-TM aggregates (merged over %d patterns x %d seeds):@."
+          (List.length patterns) seeds;
+        List.iter
+          (fun (name, m) ->
+            Fmt.pr "%-18s %a@." name Tm_sim.Metrics.pp m;
+            Fmt.pr "  commit latency (events):@.    @[<v>%a@]@."
+              Tm_sim.Metrics.pp_histogram m.Tm_sim.Metrics.commit_latency;
+            Fmt.pr "  retry depth:@.    @[<v>%a@]@."
+              Tm_sim.Metrics.pp_histogram m.Tm_sim.Metrics.retry_depth;
+            let throughputs =
+              List.filter_map
+                (fun r ->
+                  if
+                    r.Tm_sim.Sweep.r_config.Tm_sim.Sweep.tm
+                      .Tm_impl.Registry.entry_name = name
+                  then Some r.Tm_sim.Sweep.r_metrics.Tm_sim.Metrics.throughput
+                  else None)
+                results
+            in
+            Fmt.pr "  per-run throughput: %a@." Tm_sim.Stats.pp
+              (Tm_sim.Stats.summarize throughputs))
+          (Tm_sim.Sweep.by_tm results));
     (match metrics_file with
     | None -> ()
     | Some file ->
@@ -338,6 +445,12 @@ let sweep_cmd =
         output_char oc '\n';
         close_out oc;
         Fmt.pr "@.metrics written to %s@." file);
+    (match trace_file with
+    | None -> ()
+    | Some file ->
+        let events = combined_trace results in
+        write_trace_file file events;
+        Fmt.pr "@.trace: %d events written to %s@." (List.length events) file);
     (* Wall-clock goes to stderr: stdout (and the metrics JSON) must be
        byte-identical across --jobs values. *)
     Fmt.epr "sweep: %d runs in %.3fs (%d jobs)@." (List.length results) dt
@@ -349,20 +462,6 @@ let sweep_cmd =
       & opt (list tm_conv) []
       & info [ "tm" ] ~docv:"NAMES"
           ~doc:"Comma-separated TM names to sweep (default: the whole zoo).")
-  in
-  let fault_conv =
-    let names () =
-      List.map fst (Tm_sim.Sweep.fault_patterns ())
-    in
-    let parse s =
-      if List.mem s (names ()) then Ok s
-      else
-        Error
-          (`Msg
-            (Fmt.str "unknown fault pattern %S (try: %s)" s
-               (String.concat ", " (names ()))))
-    in
-    Arg.conv (parse, Fmt.string)
   in
   let faults =
     Arg.(
@@ -408,6 +507,27 @@ let sweep_cmd =
       & info [ "metrics" ] ~docv:"FILE"
           ~doc:"Write the per-run and per-TM metrics JSON document here.")
   in
+  let metrics_format =
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+      & info [ "metrics-format" ] ~docv:"FORMAT"
+          ~doc:
+            "How to render metrics on stdout: $(b,table) (per-run table, \
+             per-TM aggregates with latency/retry histograms and a \
+             throughput summary) or $(b,json) (the same document \
+             $(b,--metrics) writes).")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record per-run structured traces and write the merged Chrome \
+             trace_event JSON here (one process lane per run; \
+             byte-identical for every $(b,--jobs) value).")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
@@ -415,7 +535,100 @@ let sweep_cmd =
           sharded across domains, and report per-run metrics.")
     Term.(
       const run $ tms $ faults $ seeds $ nprocs $ ntvars $ steps $ sched
-      $ jobs $ metrics_file)
+      $ jobs $ metrics_file $ metrics_format $ trace_file)
+
+let trace_cmd =
+  let run tms faults seed nprocs ntvars steps sched jobs out format =
+    let jobs = max 1 jobs in
+    let tms = match tms with [] -> Tm_impl.Registry.all | tms -> tms in
+    let patterns = resolve_patterns ~nprocs ~ntvars ~steps ~sched faults in
+    let configs = Tm_sim.Sweep.grid ~tms ~patterns ~seeds:[ seed ] () in
+    let results =
+      if jobs > 1 then
+        Tm_sim.Pool.with_pool ~jobs (fun pool ->
+            Tm_sim.Sweep.run ~pool ~trace:true configs)
+      else Tm_sim.Sweep.run ~trace:true configs
+    in
+    let events = combined_trace results in
+    let render oc =
+      match format with
+      | `Json -> Tm_trace.Export.to_chrome_channel oc events
+      | `Text -> output_string oc (Tm_trace.Export.text_string events)
+    in
+    match out with
+    | None -> render stdout
+    | Some file ->
+        let oc = open_out file in
+        render oc;
+        close_out oc;
+        Fmt.pr "wrote %d trace events to %s@." (List.length events) file
+  in
+  let tms =
+    Arg.(
+      value
+      & opt (list tm_conv) []
+      & info [ "tm" ] ~docv:"NAMES"
+          ~doc:"Comma-separated TM names to trace (default: the whole zoo).")
+  in
+  let faults =
+    Arg.(
+      value
+      & opt (list fault_conv) []
+      & info [ "faults" ] ~docv:"PATTERNS"
+          ~doc:
+            "Comma-separated fault patterns: healthy, crash, parasite, \
+             mixed (default: all four).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let nprocs =
+    Arg.(value & opt int 3 & info [ "p"; "procs" ] ~doc:"Number of processes.")
+  in
+  let ntvars =
+    Arg.(value & opt int 4 & info [ "t"; "tvars" ] ~doc:"Number of t-variables.")
+  in
+  let steps =
+    Arg.(value & opt int 400 & info [ "n"; "steps" ] ~doc:"Simulation steps.")
+  in
+  let sched =
+    Arg.(
+      value
+      & opt sched_conv Tm_sim.Runner.Uniform
+      & info [ "sched" ] ~doc:"Scheduler: rr, uniform, or a quantum size.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ]
+          ~doc:
+            "Worker domains; the trace is byte-for-bit identical for every \
+             value.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the trace here (default: stdout).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("json", `Json); ("text", `Text) ]) `Json
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Trace format: $(b,json) (Chrome trace_event, Perfetto-loadable) \
+             or $(b,text) (compact one-event-per-line dump).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a (TM x fault-pattern) grid at one seed and emit a merged \
+          structured trace: transaction/tryC spans, fault instants, defer \
+          counters, and streamed opacity-monitor verdicts, on the \
+          deterministic step clock.")
+    Term.(
+      const run $ tms $ faults $ seed $ nprocs $ ntvars $ steps $ sched
+      $ jobs $ out $ format)
 
 type explore_action = E_invoke of Tm_history.Event.invocation | E_poll
 
@@ -598,6 +811,6 @@ let () =
        (Cmd.group info
           [
             zoo_cmd; figures_cmd; simulate_cmd; game_cmd; matrix_cmd;
-            monitor_cmd; sweep_cmd; model_check_cmd; explore_cmd;
+            monitor_cmd; sweep_cmd; trace_cmd; model_check_cmd; explore_cmd;
             crash_windows_cmd; dump_cmd; check_cmd;
           ]))

@@ -1,15 +1,20 @@
 (* Trace forensics: the full analysis pipeline on a dumped trace.
 
-   Simulates a faulty run, serializes the history through the text codec
-   (as `tmlive dump` would), re-loads it, and analyzes the reloaded trace:
-   figure-style rendering, the linear-time opacity monitor, the exact
-   checker, empirical window classification, and — for a deterministic
-   periodic run — exact lasso detection with liveness verdicts.
+   Simulates a faulty run while recording a structured Tm_trace event
+   stream (the same stream `tmlive trace` emits), dumps the head of the
+   trace, round-trips it through the Chrome trace_event JSON codec, and
+   then analyzes the run: the traced opacity monitor, empirical window
+   classification, and — for a deterministic periodic run — exact lasso
+   detection with liveness verdicts.
 
    Run with: dune exec examples/trace_forensics.exe *)
 
+module Tev = Tm_trace.Trace_event
+
 let () =
-  (* 1. Produce a trace: TinySTM with a parasitic process, round-robin. *)
+  (* 1. Produce a run and its trace: TinySTM with a parasitic process,
+     round-robin.  The collector sink records every event the runner
+     emits on its deterministic step clock. *)
   let entry = Option.get (Tm_impl.Registry.find "tinystm") in
   let spec =
     Tm_sim.Runner.spec ~nprocs:2 ~ntvars:1 ~steps:600 ~seed:3
@@ -17,28 +22,45 @@ let () =
       ~fates:[ (1, Tm_sim.Runner.Parasitic_from 40) ]
       ()
   in
-  let outcome = Tm_sim.Runner.run entry spec in
-
-  (* 2. Round-trip through the codec, as dump/check would. *)
-  let text = Tm_history.Codec.history_to_string outcome.Tm_sim.Runner.history in
-  Fmt.pr "serialized trace: %d bytes, first lines:@." (String.length text);
-  String.split_on_char '\n' text
-  |> List.filteri (fun i _ -> i < 6)
-  |> List.iter (Fmt.pr "  %s@.");
-  let h =
-    match Tm_history.Codec.history_of_string text with
-    | Ok h -> h
-    | Error m -> Fmt.failwith "re-load failed: %s" m
+  let col = Tm_trace.Sink.collector () in
+  let outcome =
+    Tm_sim.Runner.run ~trace:(Tm_trace.Sink.collector_sink col) entry spec
   in
-  Fmt.pr "@.reloaded %d events; equal to the original: %b@.@."
-    (Tm_history.History.length h)
-    (Tm_history.History.equal h outcome.Tm_sim.Runner.history);
+  let events = Tm_trace.Sink.collected col in
+  Fmt.pr "recorded %d trace events; the first few:@." (List.length events);
+  List.filteri (fun i _ -> i < 8) events
+  |> List.iter (Fmt.pr "  %a@." Tev.pp);
 
-  (* 3. Safety. *)
-  (match Tm_safety.Monitor.run h with
+  (* 2. Round-trip through the Chrome trace_event codec, as `tmlive
+     trace` followed by a re-load would. *)
+  let json = Tm_trace.Export.chrome_string events in
+  Fmt.pr "@.serialized trace: %d bytes of Perfetto-loadable JSON@."
+    (String.length json);
+  (match Tm_trace.Export.of_chrome_string json with
+  | Ok reloaded ->
+      Fmt.pr "reloaded %d events; equal to the original: %b@.@."
+        (List.length reloaded)
+        (List.length reloaded = List.length events
+        && List.for_all2 Tev.equal reloaded events)
+  | Error m -> Fmt.failwith "re-load failed: %s" m);
+
+  (* 3. Safety, with the monitor's own decisions streamed into a trace:
+     one epoch counter per applied commit, and a final verdict event. *)
+  let h = outcome.Tm_sim.Runner.history in
+  let mcol = Tm_trace.Sink.collector () in
+  (match
+     Tm_safety.Monitor.run_traced
+       ~trace:(Tm_trace.Sink.collector_sink mcol)
+       h
+   with
   | Tm_safety.Monitor.Accepted ->
       Fmt.pr "monitor: ACCEPTED — a serialization witness exists (opaque)@."
   | Tm_safety.Monitor.No_witness m -> Fmt.pr "monitor: no witness (%s)@." m);
+  let mevents = Tm_trace.Sink.collected mcol in
+  Fmt.pr "monitor trace: %d events, last one:@." (List.length mevents);
+  (match List.rev mevents with
+  | last :: _ -> Fmt.pr "  %a@." Tev.pp last
+  | [] -> ());
 
   (* 4. Liveness, empirically: the parasite shows up in the window
      classification... *)
@@ -58,8 +80,14 @@ let () =
         (Tm_liveness.Property.verdict l));
 
   (* 5. The headline: the parasite froze the solo runner (TinySTM's
-     encounter-time locks), so p2 made no progress after step 40. *)
-  Fmt.pr "@.p2 commits: %d, p2 aborts: %d — the parasite's encounter lock \
+     encounter-time locks), so p2 made no progress after step 40.  The
+     fault is visible directly in the trace stream. *)
+  let crashes =
+    List.filter (fun (e : Tev.t) -> e.Tev.cat = Tev.Fault) events
+  in
+  Fmt.pr "@.fault events in the trace:@.";
+  List.iter (Fmt.pr "  %a@." Tev.pp) crashes;
+  Fmt.pr "p2 commits: %d, p2 aborts: %d — the parasite's encounter lock \
           starves it@."
     outcome.Tm_sim.Runner.commits.(2)
     outcome.Tm_sim.Runner.aborts.(2)

@@ -183,3 +183,36 @@ let run h =
   let t = create () in
   List.iter (step t) (History.events h);
   verdict t
+
+module Tev = Tm_trace.Trace_event
+
+let run_traced ~trace h =
+  let emit e = trace.Tm_trace.Sink.emit e in
+  let t = create () in
+  let i = ref 0 in
+  List.iter
+    (fun e ->
+      let epoch_before = t.epoch and failed_before = t.failed in
+      step t e;
+      (* The monitor's clock is the history-event index, the same step
+         clock the runner's trace uses: streamed monitor events line up
+         with the runner's spans. *)
+      if t.epoch <> epoch_before then
+        emit (Tev.counter ~ts:!i ~tid:(Event.proc e) Tev.Monitor "epoch" t.epoch);
+      (match (failed_before, t.failed) with
+      | None, Some msg ->
+          emit
+            (Tev.instant ~ts:!i ~tid:(Event.proc e) Tev.Monitor "no-witness"
+               [ ("msg", Tev.Str msg) ])
+      | _ -> ());
+      incr i)
+    (History.events h);
+  let v = verdict t in
+  let args =
+    match v with
+    | Accepted -> [ ("result", Tev.Str "accepted") ]
+    | No_witness msg ->
+        [ ("result", Tev.Str "no-witness"); ("msg", Tev.Str msg) ]
+  in
+  emit (Tev.instant ~ts:!i ~tid:0 Tev.Monitor "verdict" args);
+  v

@@ -47,3 +47,11 @@ val verdict : t -> verdict
 
 val run : History.t -> verdict
 (** Feed a whole history. *)
+
+val run_traced : trace:Tm_trace.Sink.t -> History.t -> verdict
+(** Like {!run}, but streams the monitor's progress into the sink as it
+    goes: an ["epoch"] counter each time a commit is applied, a
+    ["no-witness"] instant the moment the sufficient condition first
+    fails, and a final ["verdict"] instant.  Timestamps are history-event
+    indexes, the same deterministic step clock {!Tm_sim.Runner} traces
+    use, so monitor events interleave correctly with runner spans. *)

@@ -50,6 +50,20 @@ let hist_bucket_label k =
     else Fmt.str "%d-%d" lo ((1 lsl k) - 1)
   end
 
+let pp_histogram ppf h =
+  if h.count = 0 then Fmt.pf ppf "(empty)"
+  else begin
+    Fmt.pf ppf "@[<v>";
+    Array.iteri
+      (fun k c ->
+        if c > 0 then
+          Fmt.pf ppf "%10s %6d  %s@," (hist_bucket_label k) c
+            (String.make (max 1 (c * 40 / h.count)) '#'))
+      h.buckets;
+    Fmt.pf ppf "count %d, mean %.2f, max %d@]" h.count (hist_mean h)
+      h.max_sample
+  end
+
 type abort_causes = { on_read : int; on_write : int; on_commit : int }
 
 type t = {

@@ -35,6 +35,11 @@ val hist_mean : histogram -> float
 val hist_bucket_label : int -> string
 (** ["0"], ["1"], ["2-3"], ["4-7"], ..., ["8192+"]. *)
 
+val pp_histogram : Format.formatter -> histogram -> unit
+(** Text rendering: one line per non-empty bucket ([hist_bucket_label],
+    count, a proportional bar), then a count/mean/max summary line.
+    Prints ["(empty)"] for an empty histogram. *)
+
 (** {2 Run metrics} *)
 
 type abort_causes = {

@@ -77,7 +77,18 @@ let workload_of s p =
   | Some w -> w
   | None -> s.workload
 
-let run (entry : Tm_impl.Registry.entry) s =
+module Tev = Tm_trace.Trace_event
+
+let fate_label = function
+  | Healthy -> "healthy"
+  | Crash_at _ -> "crash-at"
+  | Parasitic_from _ -> "parasitic-from"
+  | Crash_after_write _ -> "crash-after-write"
+  | Crash_mid_commit _ -> "crash-mid-commit"
+
+let mode_label = function Normal -> "normal" | Parasite -> "parasite"
+
+let run ?trace (entry : Tm_impl.Registry.entry) s =
   let cfg =
     Tm_impl.Tm_intf.config ~seed:s.seed ~nprocs:s.nprocs ~ntvars:s.ntvars ()
   in
@@ -107,7 +118,22 @@ let run (entry : Tm_impl.Registry.entry) s =
   let defers = Array.make (s.nprocs + 1) 0 in
   let streak = Array.make (s.nprocs + 1) 0 in
   let sched_prng = Prng.split master in
-  let record e = history := History.append !history e in
+  (* The trace's clock is the number of history events recorded so far —
+     the same deterministic event-count clock Metrics uses for latencies.
+     An event emitted with [ts = !nev] is simultaneous with the history
+     event about to be recorded at that index. *)
+  let nev = ref 0 in
+  let record e =
+    history := History.append !history e;
+    incr nev
+  in
+  let tracing = Option.is_some trace in
+  let emit_tr e =
+    match trace with Some sink -> sink.Tm_trace.Sink.emit e | None -> ()
+  in
+  let txn_open = Array.make (s.nprocs + 1) false in
+  let tryc_open = Array.make (s.nprocs + 1) false in
+  let crash_noted = Array.make (s.nprocs + 1) false in
 
   let dyn_crashed = Array.make (s.nprocs + 1) false in
   let crashed tick p =
@@ -137,6 +163,27 @@ let run (entry : Tm_impl.Registry.entry) s =
   in
 
   let handle_response p (st : pstate) inv resp =
+    (* Close trace spans before recording the response, so their end
+       timestamp is the index of the [Committed]/[Aborted] event itself. *)
+    (if tracing then
+       match (resp : Event.response) with
+       | Event.Committed | Event.Aborted ->
+           let outcome =
+             if resp = Event.Committed then "commit" else "abort"
+           in
+           if tryc_open.(p) then begin
+             tryc_open.(p) <- false;
+             emit_tr
+               (Tev.span_end ~ts:!nev ~tid:p Tev.Txn "tryC"
+                  [ ("outcome", Tev.Str outcome) ])
+           end;
+           if txn_open.(p) then begin
+             txn_open.(p) <- false;
+             emit_tr
+               (Tev.span_end ~ts:!nev ~tid:p Tev.Txn "txn"
+                  [ ("outcome", Tev.Str outcome) ])
+           end
+       | Event.Value _ | Event.Ok_written -> ());
     record (Event.Res (p, resp));
     match (resp : Event.response) with
     | Event.Value v -> (
@@ -186,6 +233,21 @@ let run (entry : Tm_impl.Registry.entry) s =
               | [] -> invalid_arg "parasite workload produced an empty body"))
     in
     invocations.(p) <- invocations.(p) + 1;
+    if tracing then begin
+      if not txn_open.(p) then begin
+        txn_open.(p) <- true;
+        emit_tr
+          (Tev.span_begin ~ts:!nev ~tid:p Tev.Txn "txn"
+             [
+               ("index", Tev.Int st.txn_index);
+               ("mode", Tev.Str (mode_label st.mode));
+             ])
+      end;
+      if inv = Event.Try_commit && not tryc_open.(p) then begin
+        tryc_open.(p) <- true;
+        emit_tr (Tev.span_begin ~ts:!nev ~tid:p Tev.Txn "tryC" [])
+      end
+    end;
     record (Event.Inv (p, inv));
     tm.Tm_impl.Tm_intf.invoke p inv
   in
@@ -220,9 +282,23 @@ let run (entry : Tm_impl.Registry.entry) s =
             end)
   in
 
+  (* Record faults as trace instants the first time they are observable:
+     a crashed process gets a [Fault] instant labelled with its fate. *)
+  let note_crashes tick =
+    for p = 1 to s.nprocs do
+      if (not crash_noted.(p)) && crashed tick p then begin
+        crash_noted.(p) <- true;
+        emit_tr
+          (Tev.instant ~ts:!nev ~tid:p Tev.Fault "crash"
+             [ ("fate", Tev.Str (fate_label (fate_of s p))) ])
+      end
+    done
+  in
+
   let steps_taken = ref 0 in
   (try
      for tick = 0 to s.steps - 1 do
+       if tracing then note_crashes tick;
        match choose tick with
        | None -> raise Exit
        | Some p ->
@@ -231,6 +307,8 @@ let run (entry : Tm_impl.Registry.entry) s =
            (* A process turning parasitic abandons its plan to commit. *)
            if st.mode = Normal && parasitic tick p then begin
              st.mode <- Parasite;
+             if tracing then
+               emit_tr (Tev.instant ~ts:!nev ~tid:p Tev.Fault "parasitic" []);
              if st.body = [] then fresh_body st
            end;
            let pending = tm.Tm_impl.Tm_intf.pending p in
@@ -252,11 +330,17 @@ let run (entry : Tm_impl.Registry.entry) s =
                  | None ->
                      defers.(p) <- defers.(p) + 1;
                      streak.(p) <- streak.(p) + 1;
+                     if tracing then
+                       emit_tr
+                         (Tev.counter ~ts:!nev ~tid:p Tev.Sched
+                            (Fmt.str "defers-p%d" p)
+                            defers.(p));
                      if pending = Some Event.Try_commit then
                        st.tryc_polls <- st.tryc_polls + 1)
              | None -> emit p st
      done
    with Exit -> ());
+  if tracing then note_crashes s.steps;
   {
     history = !history;
     commits;

@@ -73,7 +73,13 @@ type outcome = {
   steps_taken : int;
 }
 
-val run : Tm_impl.Registry.entry -> spec -> outcome
+val run : ?trace:Tm_trace.Sink.t -> Tm_impl.Registry.entry -> spec -> outcome
+(** Runs the simulation.  With [?trace], structured trace events are
+    streamed into the sink as the run unfolds: per-process transaction and
+    tryC spans, fault instants (crashes, parasitic turns), and per-process
+    defer counters.  Event timestamps are history-event indexes — the
+    deterministic step clock — so traces of a seeded run are bit-for-bit
+    reproducible. *)
 
 val total : int array -> int
 val commit_total : outcome -> int

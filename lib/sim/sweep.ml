@@ -48,18 +48,35 @@ type result = {
   r_config : config;
   r_outcome : Runner.outcome;
   r_metrics : Metrics.t;
+  r_trace : Tm_trace.Trace_event.t list;
 }
 
-let run_one c =
-  let outcome = Runner.run c.tm c.spec in
-  { r_config = c; r_outcome = outcome; r_metrics = Metrics.of_outcome outcome }
+let run_one ~trace c =
+  if trace then begin
+    let col = Tm_trace.Sink.collector () in
+    let outcome = Runner.run ~trace:(Tm_trace.Sink.collector_sink col) c.tm c.spec in
+    {
+      r_config = c;
+      r_outcome = outcome;
+      r_metrics = Metrics.of_outcome outcome;
+      r_trace = Tm_trace.Sink.collected col;
+    }
+  end
+  else
+    let outcome = Runner.run c.tm c.spec in
+    {
+      r_config = c;
+      r_outcome = outcome;
+      r_metrics = Metrics.of_outcome outcome;
+      r_trace = [];
+    }
 
-let run ?pool configs =
+let run ?pool ?(trace = false) configs =
   let configs = Array.of_list configs in
   let results =
     match pool with
-    | Some p when Pool.jobs p > 1 -> Pool.map_array p run_one configs
-    | Some _ | None -> Array.map run_one configs
+    | Some p when Pool.jobs p > 1 -> Pool.map_array p (run_one ~trace) configs
+    | Some _ | None -> Array.map (run_one ~trace) configs
   in
   Array.to_list results
 

@@ -49,12 +49,17 @@ type result = {
   r_config : config;
   r_outcome : Runner.outcome;
   r_metrics : Metrics.t;
+  r_trace : Tm_trace.Trace_event.t list;
+      (** per-run trace events (empty unless [run ~trace:true]) *)
 }
 
-val run : ?pool:Pool.t -> config list -> result list
+val run : ?pool:Pool.t -> ?trace:bool -> config list -> result list
 (** Execute every configuration and return results in the input order.
     Without a pool (or with a 1-job pool) the sweep runs sequentially in
-    the caller; either way the results are identical. *)
+    the caller; either way the results are identical.  With [~trace:true]
+    each run also records its deterministic step-clock trace into
+    [r_trace]; traces, like metrics, are identical whether or not a pool
+    is used. *)
 
 val by_tm : result list -> (string * Metrics.t) list
 (** Metrics aggregated per TM (merged over patterns and seeds), in order

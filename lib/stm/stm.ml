@@ -25,6 +25,104 @@ let clock = Atomic.make 0
 let commit_count = Atomic.make 0
 let abort_count = Atomic.make 0
 
+module Tev = Tm_trace.Trace_event
+
+(* Runtime tracing.  The hot path pays one [Atomic.get] on a global flag
+   per potential event; when the flag is false no event is even
+   constructed.  When on, each domain writes into its own fixed-size ring
+   (single-writer, no lock on the emit path) registered in a global list
+   so [events] can collect them afterwards.  Timestamps come from a global
+   emission sequence — they give a total order of emissions, not wall
+   time. *)
+module Trace = struct
+  type mode = Off | Null | Rings of int
+
+  let tracing = Atomic.make false
+  let mode = Atomic.make Off
+  let generation = Atomic.make 0
+  let seq = Atomic.make 0
+  let emitted_count = Atomic.make 0
+  let registry_mu = Mutex.create ()
+  let registry : Tm_trace.Ring.t list ref = ref []
+
+  let slot : (int * Tm_trace.Ring.t) option ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref None)
+
+  let default_capacity = 4096
+
+  let reset_locked m =
+    registry := [];
+    Atomic.incr generation;
+    Atomic.set seq 0;
+    Atomic.set emitted_count 0;
+    Atomic.set mode m;
+    Atomic.set tracing (m <> Off)
+
+  let start ?(capacity = default_capacity) () =
+    if capacity < 1 then invalid_arg "Stm.Trace.start: capacity must be positive";
+    Mutex.protect registry_mu (fun () -> reset_locked (Rings capacity))
+
+  let start_null () = Mutex.protect registry_mu (fun () -> reset_locked Null)
+
+  let stop () =
+    Mutex.protect registry_mu (fun () ->
+        Atomic.set tracing false;
+        Atomic.set mode Off)
+
+  let is_on () = Atomic.get tracing
+
+  (* The per-domain ring is cached in DLS together with the generation it
+     belongs to, so a stale ring from a previous [start] is never written
+     into the current session. *)
+  let ring_for_domain gen =
+    let r = Domain.DLS.get slot in
+    match !r with
+    | Some (g, ring) when g = gen -> Some ring
+    | _ -> (
+        match Atomic.get mode with
+        | Rings cap ->
+            let ring = Tm_trace.Ring.create ~capacity:cap in
+            let registered =
+              Mutex.protect registry_mu (fun () ->
+                  if Atomic.get generation = gen then begin
+                    registry := ring :: !registry;
+                    true
+                  end
+                  else false)
+            in
+            if registered then begin
+              r := Some (gen, ring);
+              Some ring
+            end
+            else None
+        | Off | Null -> None)
+
+  let emit cat name phase args =
+    let ts = Atomic.fetch_and_add seq 1 in
+    let tid = (Domain.self () :> int) in
+    let e = { Tev.ts; pid = 0; tid; cat; name; phase; args } in
+    Atomic.incr emitted_count;
+    match Atomic.get mode with
+    | Off | Null -> ()
+    | Rings _ -> (
+        match ring_for_domain (Atomic.get generation) with
+        | Some ring -> Tm_trace.Ring.add ring e
+        | None -> ())
+
+  let events () =
+    let evs =
+      Mutex.protect registry_mu (fun () ->
+          List.concat_map Tm_trace.Ring.to_list !registry)
+    in
+    List.sort (fun (a : Tev.t) b -> Int.compare a.ts b.ts) evs
+
+  let dropped () =
+    Mutex.protect registry_mu (fun () ->
+        List.fold_left (fun acc r -> acc + Tm_trace.Ring.dropped r) 0 !registry)
+
+  let emitted () = Atomic.get emitted_count
+end
+
 let tvar (type a) (init : a) : a tvar =
   let module M = struct
     exception E of a
@@ -149,36 +247,56 @@ let commit txn =
   match txn.writes with
   | [] -> () (* read-only: reads were validated against rv as they happened *)
   | writes ->
+      let tr = Atomic.get Trace.tracing in
       let ws =
         List.sort_uniq (fun a b -> Int.compare a.w_id b.w_id) writes
       in
       (* Lock in canonical order; back out on failure. *)
-      let rec lock_all acquired = function
+      let rec lock_all k acquired = function
         | [] -> List.rev acquired
         | w :: rest ->
-            if w.try_lock () then lock_all (w :: acquired) rest
+            if w.try_lock () then begin
+              if tr then
+                Trace.emit Tev.Lock "acquire" Tev.Instant
+                  [ ("tvar", Tev.Int w.w_id); ("order", Tev.Int k) ];
+              lock_all (k + 1) (w :: acquired) rest
+            end
             else begin
+              if tr then
+                Trace.emit Tev.Lock "busy" Tev.Instant
+                  [ ("tvar", Tev.Int w.w_id) ];
               List.iter (fun a -> a.unlock ()) acquired;
               raise Conflict
             end
       in
-      let acquired = lock_all [] ws in
+      let acquired = lock_all 0 [] ws in
       let wv = Atomic.fetch_and_add clock 1 + 1 in
       let owned id = List.exists (fun w -> w.w_id = id) ws in
-      let valid =
-        List.for_all (fun r -> r.check ~rv:txn.rv ~owned) txn.reads
+      let rec first_invalid = function
+        | [] -> None
+        | r :: rest ->
+            if r.check ~rv:txn.rv ~owned then first_invalid rest
+            else Some r.r_id
       in
-      if not valid then begin
-        List.iter (fun w -> w.unlock ()) acquired;
-        raise Conflict
-      end;
+      (match first_invalid txn.reads with
+      | Some bad ->
+          if tr then
+            Trace.emit Tev.Validation "read-invalid" Tev.Instant
+              [ ("tvar", Tev.Int bad) ];
+          List.iter (fun w -> w.unlock ()) acquired;
+          raise Conflict
+      | None -> ());
       List.iter (fun w -> w.publish w.value wv) acquired
 
 let backoff attempts prng_state =
   let bound = 1 lsl min attempts 10 in
   let spins = 1 + (!prng_state * 1103515245 + 12345) land 0x3FFFFFFF in
   prng_state := spins;
-  for _ = 1 to spins mod bound do
+  let n_spins = spins mod bound in
+  if Atomic.get Trace.tracing then
+    Trace.emit Tev.Backoff "wait" Tev.Instant
+      [ ("attempt", Tev.Int attempts); ("spins", Tev.Int n_spins) ];
+  for _ = 1 to n_spins do
     Domain.cpu_relax ()
   done
 
@@ -188,7 +306,15 @@ let atomically (type a) (f : unit -> a) : a =
   | Some _ -> f () (* flat nesting: join the enclosing transaction *)
   | None ->
       let prng_state = ref (Domain.self () :> int) in
+      let end_attempt outcome =
+        if Atomic.get Trace.tracing then
+          Trace.emit Tev.Txn "attempt" Tev.Span_end
+            [ ("outcome", Tev.Str outcome) ]
+      in
       let rec attempt n =
+        if Atomic.get Trace.tracing then
+          Trace.emit Tev.Txn "attempt" Tev.Span_begin
+            [ ("attempt", Tev.Int n) ];
         let txn = { rv = Atomic.get clock; reads = []; writes = [] } in
         slot := Some txn;
         match f () with
@@ -197,24 +323,29 @@ let atomically (type a) (f : unit -> a) : a =
               commit txn;
               slot := None;
               Atomic.incr commit_count;
+              end_attempt "commit";
               result
             with Conflict ->
               slot := None;
               Atomic.incr abort_count;
+              end_attempt "conflict";
               backoff n prng_state;
               attempt (n + 1))
         | exception Conflict ->
             slot := None;
             Atomic.incr abort_count;
+            end_attempt "conflict";
             backoff n prng_state;
             attempt (n + 1)
         | exception Retry ->
             slot := None;
             Atomic.incr abort_count;
+            end_attempt "retry";
             backoff (n + 2) prng_state;
             attempt (n + 1)
         | exception e ->
             slot := None;
+            end_attempt "exception";
             raise e
       in
       attempt 0

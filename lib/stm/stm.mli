@@ -54,3 +54,36 @@ val in_transaction : unit -> bool
 
 val stats : unit -> int * int
 (** [(commits, aborts)] since program start, summed over all domains. *)
+
+(** Runtime tracing.
+
+    Off by default; the instrumented hot paths pay a single atomic flag
+    read per potential event when tracing is off.  When on, each domain
+    records into its own fixed-capacity ring buffer ({!Tm_trace.Ring}),
+    so tracing a long run keeps only the most recent events per domain
+    and never grows memory.  Event timestamps are a global emission
+    sequence number (a total order of emissions), not wall-clock time. *)
+module Trace : sig
+  val start : ?capacity:int -> unit -> unit
+  (** Enable tracing into per-domain rings of [capacity] events
+      (default 4096).  Discards events from any previous session. *)
+
+  val start_null : unit -> unit
+  (** Enable tracing with a null sink: events are constructed and counted
+      but not stored.  For measuring emission overhead. *)
+
+  val stop : unit -> unit
+  (** Disable tracing.  Recorded events remain readable via {!events}. *)
+
+  val is_on : unit -> bool
+
+  val events : unit -> Tm_trace.Trace_event.t list
+  (** Events retained across all domain rings, ordered by timestamp. *)
+
+  val dropped : unit -> int
+  (** Events overwritten in ring buffers (sum over domains). *)
+
+  val emitted : unit -> int
+  (** Events emitted since the last [start]/[start_null], including
+      dropped and null-sunk ones. *)
+end

@@ -352,6 +352,51 @@ let test_metrics_of_outcome () =
      in
      contains 0)
 
+let test_metrics_histogram_edges () =
+  let module M = Tm_sim.Metrics in
+  let last = M.nbuckets - 1 in
+  (* Overflow boundary: 2^(nbuckets-2) is the first value of the last
+     ordinary range's upper neighbour — both 2^(nbuckets-2) and anything
+     larger land in the overflow bucket. *)
+  let h =
+    List.fold_left M.hist_add M.hist_empty
+      [ (1 lsl (last - 1)) - 1; 1 lsl (last - 1); 1 lsl last; max_int ]
+  in
+  Alcotest.(check int) "8191 is the last non-overflow value" 1
+    h.M.buckets.(last - 1);
+  Alcotest.(check int) "8192, 16384 and max_int all overflow" 3
+    h.M.buckets.(last);
+  (* Negative samples count as 0. *)
+  let hneg = M.hist_add M.hist_empty (-5) in
+  Alcotest.(check int) "negative sample lands in bucket 0" 1
+    hneg.M.buckets.(0);
+  (* Labels at the boundaries. *)
+  Alcotest.(check string) "label 0" "0" (M.hist_bucket_label 0);
+  Alcotest.(check string) "label 1" "1" (M.hist_bucket_label 1);
+  Alcotest.(check string) "label 2" "2-3" (M.hist_bucket_label 2);
+  Alcotest.(check string) "penultimate label" "4096-8191"
+    (M.hist_bucket_label (last - 1));
+  Alcotest.(check string) "overflow label" "8192+" (M.hist_bucket_label last)
+
+let test_metrics_hist_merge_laws () =
+  let module M = Tm_sim.Metrics in
+  let of_list vs = List.fold_left M.hist_add M.hist_empty vs in
+  let a = of_list [ 0; 1; 7; 9000; 12 ]
+  and b = of_list [ 3; 3; 3; 100000 ]
+  and c = of_list [ 42 ] in
+  let eq name x y =
+    Alcotest.(check (array int)) (name ^ " buckets") x.M.buckets y.M.buckets;
+    Alcotest.(check int) (name ^ " count") x.M.count y.M.count;
+    Alcotest.(check int) (name ^ " sum") x.M.sum y.M.sum;
+    Alcotest.(check int) (name ^ " max") x.M.max_sample y.M.max_sample
+  in
+  eq "left identity" (M.hist_merge M.hist_empty a) a;
+  eq "right identity" (M.hist_merge a M.hist_empty) a;
+  eq "associativity"
+    (M.hist_merge (M.hist_merge a b) c)
+    (M.hist_merge a (M.hist_merge b c));
+  eq "commutativity" (M.hist_merge a b) (M.hist_merge b a)
+
 let test_sweep_grid_canonical_order () =
   let tms = List.filter_map Reg.find [ "tl2"; "fgp" ] in
   let configs =
@@ -508,6 +553,10 @@ let () =
       ( "metrics",
         [
           Alcotest.test_case "histogram buckets" `Quick test_metrics_histogram;
+          Alcotest.test_case "histogram edge cases" `Quick
+            test_metrics_histogram_edges;
+          Alcotest.test_case "hist_merge monoid laws" `Quick
+            test_metrics_hist_merge_laws;
           Alcotest.test_case "of_outcome" `Quick test_metrics_of_outcome;
           Alcotest.test_case "grid canonical order" `Quick
             test_sweep_grid_canonical_order;
