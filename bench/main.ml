@@ -1073,16 +1073,21 @@ let p5_trace_overhead () =
   let ring_retained = List.length (Tm_stm.Stm.Trace.events ()) in
   let ring_dropped = Tm_stm.Stm.Trace.dropped () in
   let per_txn t = 1e9 *. t /. float_of_int iters in
+  (* null_emitted spans the 3 timed trials; t_null is one trial. *)
+  let events_per_trial = float_of_int null_emitted /. 3.0 in
+  let null_ns_per_event = 1e9 *. (t_null -. t_off) /. events_per_trial in
   Fmt.pr "  %d single-domain increments, min of 3 trials:@." iters;
   Fmt.pr "    tracing off   %.4fs (%5.1f ns/txn)@." t_off (per_txn t_off);
-  Fmt.pr "    null sink     %.4fs (%5.1f ns/txn, %.2fx, %d events emitted)@."
-    t_null (per_txn t_null) (t_null /. t_off) null_emitted;
+  Fmt.pr
+    "    null sink     %.4fs (%5.1f ns/txn, %.2fx, %d events emitted, \
+     %.1f ns/event)@."
+    t_null (per_txn t_null) (t_null /. t_off) null_emitted null_ns_per_event;
   Fmt.pr
     "    ring sink     %.4fs (%5.1f ns/txn, %.2fx, %d retained / %d \
      dropped)@."
     t_ring (per_txn t_ring) (t_ring /. t_off) ring_retained ring_dropped;
-  check "null-sink run within measurement noise of untraced (< 1.5x)"
-    ~paper:true ~measured:(t_null < t_off *. 1.5);
+  check "null-sink dispatch cheap per event (< 100 ns/event)" ~paper:true
+    ~measured:(null_ns_per_event < 100.0);
   check "null sink counted emissions without storing them" ~paper:true
     ~measured:(null_emitted > 0 && null_stored = []);
   check "ring sink bounded: retains <= capacity and drops the rest"
@@ -1108,6 +1113,60 @@ let p5_trace_overhead () =
   Fmt.pr "  runner, 2000 steps: untraced %.4fs, traced %.4fs (%.2fx)@."
     t_plain t_traced
     (t_traced /. t_plain)
+
+(* ------------------------------------------------------------------ *)
+(* P6: the lint engine — clean corpora really lint clean, the race
+   checker turns up nothing on a real contended multicore trace, and the
+   analyzers are fast enough to gate CI. *)
+
+let p6_analysis () =
+  section "P6" "analysis pass: findings and lint throughput";
+  let module An = Tm_analysis in
+  let figure_findings =
+    List.concat_map
+      (fun (name, h) -> An.Engine.run_history ~subject:name h)
+      Figures.all_finite
+    @ List.concat_map
+        (fun (name, l) -> An.Engine.run_lasso ~subject:name l)
+        Figures.all_lassos
+  in
+  check_int "figures corpus findings" ~paper:0
+    ~measured:(List.length figure_findings);
+  (* A contended multicore run of the real STM, traced and linted. *)
+  let n = 4 in
+  let accounts = Array.init n (fun _ -> Tm_stm.Stm.tvar 100) in
+  Tm_stm.Stm.Trace.start ~capacity:(1 lsl 18) ();
+  let worker k () =
+    for i = 1 to 2000 do
+      let src = (i * (k + 1)) mod n and dst = (i + k) mod n in
+      Tm_stm.Stm.atomically (fun () ->
+          let v = Tm_stm.Stm.read accounts.(src) in
+          Tm_stm.Stm.write accounts.(src) (v - 1);
+          Tm_stm.Stm.write accounts.(dst)
+            (Tm_stm.Stm.read accounts.(dst) + 1))
+    done
+  in
+  let domains = List.init 4 (fun k -> Domain.spawn (worker k)) in
+  List.iter Domain.join domains;
+  Tm_stm.Stm.Trace.stop ();
+  let events = Tm_stm.Stm.Trace.events () in
+  let truncated = Tm_stm.Stm.Trace.dropped () > 0 in
+  if truncated then
+    Fmt.pr "  (ring truncated; skipping the protocol lint)@."
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let findings = An.Engine.run_trace ~subject:"stm" events in
+    let dt = Unix.gettimeofday () -. t0 in
+    Fmt.pr "  linted %d trace events in %.3fs (%.0f events/s)@."
+      (List.length events) dt
+      (float_of_int (List.length events) /. dt);
+    check_int "multicore commit-protocol findings" ~paper:0
+      ~measured:(List.length findings);
+    check "TL2 canonical order: every lock-order edge ascends" ~paper:true
+      ~measured:
+        (List.for_all (fun (a, b) -> a < b)
+           (An.Trace_lint.lock_order_edges events))
+  end
 
 (* ------------------------------------------------------------------ *)
 (* P1: bechamel timing benches. *)
@@ -1141,6 +1200,9 @@ let bechamel_benches () =
         (Staged.stage (fun () -> Tm_safety.Opacity.is_opaque h20));
       Test.make ~name:"opacity-check-60txn"
         (Staged.stage (fun () -> Tm_safety.Opacity.is_opaque h60));
+      Test.make ~name:"lint-history-60txn"
+        (Staged.stage (fun () ->
+             Tm_analysis.Engine.run_history ~subject:"bench" h60));
       Test.make ~name:"liveness-classify-fig7"
         (Staged.stage (fun () -> Tm_liveness.Property.verdict Figures.fig7));
       Test.make ~name:"adversary-round-fgp"
@@ -1222,6 +1284,7 @@ let () =
   p3_scaling ();
   p4_parallel_sweep ();
   p5_trace_overhead ();
+  p6_analysis ();
   bechamel_benches ();
   Fmt.pr "@.=== SUMMARY ===@.";
   if !failures = 0 then Fmt.pr "all paper-vs-measured checks passed@."

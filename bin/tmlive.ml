@@ -799,6 +799,282 @@ let check_cmd =
        ~doc:"Load a dumped trace and check safety (and detect liveness).")
     Term.(const run $ file)
 
+(* ------------------------------------------------------------------ *)
+
+module An = Tm_analysis
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A real multicore workload on the [Stm] runtime, traced: [jobs] domains
+   transfer between [ntvars] accounts.  Returns the recorded events (and
+   checks conservation as a sanity net). *)
+let stm_demo_events ~jobs ~ntvars ~steps =
+  let module Stm = Tm_stm.Stm in
+  let n = max 2 ntvars in
+  let accounts = Array.init n (fun _ -> Stm.tvar 1000) in
+  Stm.Trace.start ~capacity:(1 lsl 18) ();
+  let worker k () =
+    let st = ref (k + 1) in
+    for _ = 1 to steps do
+      let r = (!st * 48271) mod 0x7FFFFFFF in
+      st := r;
+      let src = r mod n and dst = (r / n) mod n in
+      Stm.atomically (fun () ->
+          let v = Stm.read accounts.(src) in
+          Stm.write accounts.(src) (v - 1);
+          Stm.write accounts.(dst) (Stm.read accounts.(dst) + 1))
+    done
+  in
+  let domains = List.init (max 1 jobs) (fun k -> Domain.spawn (worker k)) in
+  List.iter Domain.join domains;
+  Stm.Trace.stop ();
+  let total =
+    Array.fold_left (fun acc a -> acc + Stm.read a) 0 accounts
+  in
+  if total <> 1000 * n then
+    Fmt.epr "stm demo: conservation broken (%d /= %d)!@." total (1000 * n);
+  (Stm.Trace.events (), Stm.Trace.dropped ())
+
+let analyze_cmd =
+  let run histories traces figures sweep stm_demo rules_str format out
+      list_rules tms faults seeds nprocs ntvars steps sched jobs =
+    if list_rules then Fmt.pr "%a" An.Engine.pp_catalogue ()
+    else begin
+      let rules =
+        match An.Engine.parse_selection rules_str with
+        | Ok ids -> ids
+        | Error m ->
+            Fmt.epr "error: %s@." m;
+            exit 2
+      in
+      let findings = ref [] in
+      let record fs = findings := fs @ !findings in
+      let analyze_history ~subject h =
+        match An.Engine.run_history ~rules ~subject h with
+        | [] -> (
+            (* Only look for a periodic suffix in clean histories; the
+               liveness taxonomy assumes well-formedness. *)
+            match Tm_liveness.Empirical.find_lasso h with
+            | None -> ()
+            | Some l -> record (An.Engine.run_lasso ~rules ~subject l))
+        | fs -> record fs
+      in
+      (* Explicit inputs. *)
+      List.iter
+        (fun file ->
+          (* Lax parse: well-formedness violations are findings, not load
+             errors. *)
+          match Tm_history.Codec.history_of_string_lax (read_file file) with
+          | Error m ->
+              Fmt.epr "error: %s: %s@." file m;
+              exit 2
+          | Ok h -> analyze_history ~subject:(Filename.basename file) h)
+        histories;
+      List.iter
+        (fun file ->
+          match Tm_trace.Export.of_chrome_string (read_file file) with
+          | Error m ->
+              Fmt.epr "error: %s: %s@." file m;
+              exit 2
+          | Ok evs ->
+              record
+                (An.Engine.run_trace ~rules ~subject:(Filename.basename file)
+                   evs))
+        traces;
+      (* Corpora. *)
+      let figures =
+        figures
+        || (histories = [] && traces = [] && (not sweep) && not stm_demo)
+      in
+      if figures then begin
+        List.iter
+          (fun (name, h) -> record (An.Engine.run_history ~rules ~subject:name h))
+          Tm_history.Figures.all_finite;
+        List.iter
+          (fun (name, l) -> record (An.Engine.run_lasso ~rules ~subject:name l))
+          Tm_history.Figures.all_lassos
+      end;
+      if sweep then begin
+        let jobs = max 1 jobs in
+        let tms = match tms with [] -> Tm_impl.Registry.all | tms -> tms in
+        let patterns =
+          resolve_patterns ~nprocs ~ntvars ~steps ~sched faults
+        in
+        let configs =
+          Tm_sim.Sweep.grid ~tms ~patterns
+            ~seeds:(List.init seeds (fun i -> i + 1))
+            ()
+        in
+        let results =
+          if jobs > 1 then
+            Tm_sim.Pool.with_pool ~jobs (fun pool ->
+                Tm_sim.Sweep.run ~pool ~trace:true configs)
+          else Tm_sim.Sweep.run ~trace:true configs
+        in
+        List.iter
+          (fun (r : Tm_sim.Sweep.result) ->
+            let subject = Tm_sim.Sweep.label r.Tm_sim.Sweep.r_config in
+            analyze_history ~subject
+              r.Tm_sim.Sweep.r_outcome.Tm_sim.Runner.history;
+            record
+              (An.Engine.run_trace ~rules ~subject r.Tm_sim.Sweep.r_trace))
+          results
+      end;
+      if stm_demo then begin
+        let events, dropped =
+          stm_demo_events ~jobs:(max 2 jobs) ~ntvars ~steps:(min steps 2000)
+        in
+        if dropped > 0 then begin
+          (* A truncated ring fabricates protocol violations; refuse to
+             lint a partial trace. *)
+          Fmt.epr
+            "error: stm demo dropped %d events (ring too small for this \
+             workload); not analyzing a truncated trace@."
+            dropped;
+          exit 2
+        end;
+        record (An.Engine.run_trace ~rules ~subject:"stm-demo" events)
+      end;
+      let findings = List.sort An.Finding.compare !findings in
+      (match format with
+      | `Table -> Fmt.pr "%a" An.Finding.pp_report findings
+      | `Json -> print_string (An.Finding.list_to_json findings));
+      (match out with
+      | None -> ()
+      | Some file ->
+          let oc = open_out file in
+          output_string oc (An.Finding.list_to_json findings);
+          close_out oc;
+          Fmt.epr "findings written to %s@." file);
+      exit (An.Engine.exit_code findings)
+    end
+  in
+  let histories =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "history" ] ~docv:"FILE"
+          ~doc:"Analyze a dumped history file (see $(b,dump)). Repeatable.")
+  in
+  let traces =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Analyze a Chrome trace_event JSON file (see $(b,trace), \
+             $(b,sweep --trace)). Repeatable.")
+  in
+  let figures =
+    Arg.(
+      value & flag
+      & info [ "figures" ]
+          ~doc:
+            "Analyze the paper's whole Figures corpus (default when no \
+             other input is given).")
+  in
+  let sweep =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:
+            "Run a traced (TM x fault x seed) sweep and analyze every \
+             run's history and trace ($(b,--tm), $(b,--faults), \
+             $(b,--seeds), $(b,-p), $(b,-t), $(b,-n), $(b,--sched), \
+             $(b,--jobs) as for $(b,sweep)).")
+  in
+  let stm_demo =
+    Arg.(
+      value & flag
+      & info [ "stm" ]
+          ~doc:
+            "Run a traced multicore workload on the real Stm runtime and \
+             analyze its lock/commit protocol trace ($(b,--jobs) domains, \
+             $(b,-t) accounts, $(b,-n) transfers per domain).")
+  in
+  let rules =
+    Arg.(
+      value & opt string "all"
+      & info [ "rules" ] ~docv:"RULES"
+          ~doc:
+            "Rule subset: $(b,all) or a comma-separated list of rule ids \
+             (see $(b,--list-rules)).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Findings on stdout as $(b,table) or $(b,json).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write the findings JSON document here (CI artifact).")
+  in
+  let list_rules =
+    Arg.(
+      value & flag
+      & info [ "list-rules" ] ~doc:"Print the rule catalogue and exit.")
+  in
+  let tms =
+    Arg.(
+      value
+      & opt (list tm_conv) []
+      & info [ "tm" ] ~docv:"NAMES"
+          ~doc:"TMs for $(b,--sweep) (default: the whole zoo).")
+  in
+  let faults =
+    Arg.(
+      value
+      & opt (list fault_conv) []
+      & info [ "faults" ] ~docv:"PATTERNS"
+          ~doc:"Fault patterns for $(b,--sweep) (default: all four).")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 2
+      & info [ "seeds" ] ~doc:"Seeds per configuration for $(b,--sweep).")
+  in
+  let nprocs =
+    Arg.(value & opt int 3 & info [ "p"; "procs" ] ~doc:"Number of processes.")
+  in
+  let ntvars =
+    Arg.(value & opt int 4 & info [ "t"; "tvars" ] ~doc:"Number of t-variables.")
+  in
+  let steps =
+    Arg.(value & opt int 400 & info [ "n"; "steps" ] ~doc:"Simulation steps.")
+  in
+  let sched =
+    Arg.(
+      value
+      & opt sched_conv Tm_sim.Runner.Uniform
+      & info [ "sched" ] ~doc:"Scheduler: rr, uniform, or a quantum size.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ]
+          ~doc:"Worker domains for $(b,--sweep) / $(b,--stm).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Lint histories and traces: well-formedness and transaction-\
+          identity checks, liveness-class diagnostics, and trace-level \
+          race / lock-order / commit-protocol analyzers.  Exits 1 if any \
+          error-severity finding is reported, so CI can gate on it.")
+    Term.(
+      const run $ histories $ traces $ figures $ sweep $ stm_demo $ rules
+      $ format $ out $ list_rules $ tms $ faults $ seeds $ nprocs $ ntvars
+      $ steps $ sched $ jobs)
+
 let () =
   let info =
     Cmd.info "tmlive" ~version:"1.0.0"
@@ -811,6 +1087,6 @@ let () =
        (Cmd.group info
           [
             zoo_cmd; figures_cmd; simulate_cmd; game_cmd; matrix_cmd;
-            monitor_cmd; sweep_cmd; trace_cmd; model_check_cmd; explore_cmd;
-            crash_windows_cmd; dump_cmd; check_cmd;
+            monitor_cmd; sweep_cmd; trace_cmd; analyze_cmd; model_check_cmd;
+            explore_cmd; crash_windows_cmd; dump_cmd; check_cmd;
           ]))

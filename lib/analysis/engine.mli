@@ -1,0 +1,59 @@
+open Tm_history
+
+(** The lint engine: the rule catalogue, rule-subset selection, and
+    one-call drivers over histories, lassos and traces.
+
+    Every analyzer family registers its rules here so the CLI can list
+    them, validate [--rules] selections, and filter findings uniformly.
+    Selection is by rule id; ["all"] selects everything. *)
+
+type family = History_rule | Lasso_rule | Trace_rule
+
+type rule = {
+  id : string;
+  family : family;
+  severity : Finding.severity;  (** severity the rule reports at *)
+  doc : string;  (** one-line description for [--rules help] and docs *)
+}
+
+val rules : rule list
+(** The full catalogue, grouped by family. *)
+
+val rule_ids : string list
+
+val find_rule : string -> rule option
+
+val parse_selection : string -> (string list, string) result
+(** [parse_selection s] parses a [--rules] argument: ["all"] (every rule)
+    or a comma-separated list of rule ids.  Unknown ids are an error
+    naming the offender and the valid ids. *)
+
+val pp_catalogue : Format.formatter -> unit -> unit
+(** The rule table: id, family, severity, description. *)
+
+(** {2 Drivers}
+
+    Each driver runs every analyzer of the artifact's family and keeps
+    the findings whose rule id is in [rules] (default: all).  [subject]
+    labels the artifact in findings and reports. *)
+
+val run_history :
+  ?rules:string list -> subject:string -> History.t -> Finding.t list
+
+val run_lasso :
+  ?rules:string list ->
+  ?claimed_classes:(Event.proc * Tm_liveness.Process_class.cls) list ->
+  ?claimed_verdict:Tm_liveness.Property.verdict ->
+  subject:string ->
+  Lasso.t ->
+  Finding.t list
+
+val run_trace :
+  ?rules:string list ->
+  subject:string ->
+  Tm_trace.Trace_event.t list ->
+  Finding.t list
+
+val exit_code : Finding.t list -> int
+(** CI gating: [1] if any error-severity finding is present, [0]
+    otherwise. *)

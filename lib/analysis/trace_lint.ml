@@ -1,0 +1,276 @@
+module Tev = Tm_trace.Trace_event
+module IMap = Map.Make (Int)
+
+let err ~subject ~rule ?location msg =
+  Finding.v ~rule ~severity:Finding.Error ~subject ?location msg
+
+let warn ~subject ~rule ?location msg =
+  Finding.v ~rule ~severity:Finding.Warning ~subject ?location msg
+
+(* Per-domain commit-attempt state.  The Stm emits all events of one
+   attempt from one domain, so per-tid state is sequential even though
+   the merged trace interleaves domains. *)
+type attempt = {
+  mutable held : int list;  (** t-variables locked by this domain, newest first *)
+  mutable published : bool;  (** the publish phase has begun *)
+}
+
+let fresh_attempt () = { held = []; published = false }
+
+type state = {
+  mutable holders : int IMap.t;  (** tvar -> tid currently holding its lock *)
+  attempts : (int, attempt) Hashtbl.t;  (** tid -> in-flight attempt state *)
+  mutable clocks : Vclock.t IMap.t;  (** tid -> vector clock *)
+  mutable release_clock : Vclock.t IMap.t;  (** tvar -> clock at last release *)
+  mutable last_publish : (int * Vclock.t) IMap.t;
+      (** tvar -> (tid, clock) of the latest publish *)
+  mutable edges : ((int * int) * (int * int)) list;
+      (** lock-order edges (held, acquired) with a sample (ts, tid), newest
+          first *)
+  mutable findings : Finding.t list;  (** newest first *)
+}
+
+let initial () =
+  {
+    holders = IMap.empty;
+    attempts = Hashtbl.create 8;
+    clocks = IMap.empty;
+    release_clock = IMap.empty;
+    last_publish = IMap.empty;
+    edges = [];
+    findings = [];
+  }
+
+let attempt_of st tid =
+  match Hashtbl.find_opt st.attempts tid with
+  | Some a -> a
+  | None ->
+      let a = fresh_attempt () in
+      Hashtbl.add st.attempts tid a;
+      a
+
+let clock_of st tid =
+  match IMap.find_opt tid st.clocks with Some c -> c | None -> Vclock.zero
+
+let set_clock st tid c = st.clocks <- IMap.add tid c st.clocks
+
+let add_finding st f = st.findings <- f :: st.findings
+
+let on_acquire ~subject st (e : Tev.t) x =
+  let tid = e.Tev.tid in
+  let a = attempt_of st tid in
+  (match IMap.find_opt x st.holders with
+  | Some holder ->
+      add_finding st
+        (err ~subject ~rule:"lock-overlap"
+           ~location:(Finding.At_ts (e.Tev.ts, tid))
+           (Fmt.str
+              "domain %d acquired the lock of tvar %d while domain %d held it"
+              tid x holder))
+  | None -> ());
+  if a.published then
+    add_finding st
+      (err ~subject ~rule:"acquire-after-publish"
+         ~location:(Finding.At_ts (e.Tev.ts, tid))
+         (Fmt.str
+            "domain %d acquired the lock of tvar %d after starting to publish"
+            tid x));
+  (* Lock-order edges: x is acquired while every lock in [held] is held. *)
+  List.iter
+    (fun h ->
+      if
+        h <> x
+        && not (List.exists (fun (edge, _) -> edge = (h, x)) st.edges)
+      then st.edges <- ((h, x), (e.Tev.ts, tid)) :: st.edges)
+    a.held;
+  a.held <- x :: a.held;
+  st.holders <- IMap.add x tid st.holders;
+  (* Happens-before: everything the previous holder did before releasing
+     is now ordered before this domain's subsequent events. *)
+  let c = clock_of st tid in
+  let c =
+    match IMap.find_opt x st.release_clock with
+    | Some rc -> Vclock.join c rc
+    | None -> c
+  in
+  set_clock st tid (Vclock.tick c tid)
+
+let on_release ~subject st (e : Tev.t) x =
+  let tid = e.Tev.tid in
+  let a = attempt_of st tid in
+  if not (List.mem x a.held) then
+    add_finding st
+      (err ~subject ~rule:"unlock-without-lock"
+         ~location:(Finding.At_ts (e.Tev.ts, tid))
+         (Fmt.str "domain %d released the lock of tvar %d without holding it"
+            tid x))
+  else begin
+    a.held <- List.filter (fun h -> h <> x) a.held;
+    st.holders <- IMap.remove x st.holders;
+    let c = clock_of st tid in
+    st.release_clock <- IMap.add x c st.release_clock;
+    set_clock st tid (Vclock.tick c tid)
+  end
+
+let on_publish ~subject st (e : Tev.t) x =
+  let tid = e.Tev.tid in
+  let a = attempt_of st tid in
+  a.published <- true;
+  if not (List.mem x a.held) then
+    add_finding st
+      (err ~subject ~rule:"publish-without-lock"
+         ~location:(Finding.At_ts (e.Tev.ts, tid))
+         (Fmt.str "domain %d published tvar %d without holding its lock" tid x));
+  let c = clock_of st tid in
+  (match IMap.find_opt x st.last_publish with
+  | Some (prev_tid, prev_c)
+    when prev_tid <> tid && not (Vclock.leq prev_c c) ->
+      add_finding st
+        (err ~subject ~rule:"hb-race"
+           ~location:(Finding.At_ts (e.Tev.ts, tid))
+           (Fmt.str
+              "concurrent publishes to tvar %d: domain %d's publish is not \
+               ordered after domain %d's"
+              x tid prev_tid))
+  | _ -> ());
+  st.last_publish <- IMap.add x (tid, c) st.last_publish;
+  set_clock st tid (Vclock.tick c tid)
+
+let on_attempt_end ~subject st (e : Tev.t) =
+  let tid = e.Tev.tid in
+  let a = attempt_of st tid in
+  if a.held <> [] then begin
+    add_finding st
+      (err ~subject ~rule:"lock-leak"
+         ~location:(Finding.At_ts (e.Tev.ts, tid))
+         (Fmt.str "domain %d ended a commit attempt still holding tvar(s) %s"
+            tid
+            (String.concat ", "
+               (List.map string_of_int (List.rev a.held)))));
+    (* Repair: drop the stale holds so one leak does not cascade into
+       overlap findings for every later acquire. *)
+    List.iter
+      (fun x ->
+        match IMap.find_opt x st.holders with
+        | Some holder when holder = tid ->
+            st.holders <- IMap.remove x st.holders
+        | _ -> ())
+      a.held
+  end;
+  Hashtbl.replace st.attempts tid (fresh_attempt ())
+
+(* Cycle detection over the lock-order graph: a DFS back edge to a "gray"
+   node closes a cycle.  One finding per distinct cycle node set. *)
+let cycle_findings ~subject st =
+  let edges = List.rev_map fst st.edges in
+  let succ x =
+    List.filter_map (fun (a, b) -> if a = x then Some b else None) edges
+  in
+  let nodes =
+    List.sort_uniq Int.compare (List.concat_map (fun (a, b) -> [ a; b ]) edges)
+  in
+  let color : (int, [ `Gray | `Black ]) Hashtbl.t = Hashtbl.create 16 in
+  let reported = ref [] in
+  let report cyc =
+    let key = List.sort Int.compare cyc in
+    if not (List.mem key !reported) then begin
+      reported := key :: !reported;
+      let sample =
+        List.find_opt
+          (fun ((a, b), _) -> List.mem a cyc && List.mem b cyc)
+          (List.rev st.edges)
+      in
+      let location =
+        match sample with
+        | Some (_, (ts, tid)) -> Some (Finding.At_ts (ts, tid))
+        | None -> None
+      in
+      add_finding st
+        (err ~subject ~rule:"lock-order-cycle" ?location
+           (Fmt.str "lock-order cycle over tvars %s"
+              (String.concat " -> "
+                 (List.map string_of_int (cyc @ [ List.hd cyc ])))))
+    end
+  in
+  (* [stack] is the current DFS path, newest first. *)
+  let rec dfs stack x =
+    match Hashtbl.find_opt color x with
+    | Some `Black -> ()
+    | Some `Gray ->
+        (* Back edge: the cycle is [x] plus the path back down to [x]. *)
+        let rec upto = function
+          | [] -> []
+          | y :: rest -> if y = x then [] else y :: upto rest
+        in
+        report (x :: List.rev (upto stack))
+    | None ->
+        Hashtbl.replace color x `Gray;
+        List.iter (dfs (x :: stack)) (succ x);
+        Hashtbl.replace color x `Black
+  in
+  List.iter (dfs []) nodes
+
+let end_of_trace ~subject st last_ts =
+  Hashtbl.iter
+    (fun tid (a : attempt) ->
+      if a.held <> [] then
+        add_finding st
+          (warn ~subject ~rule:"lock-leak"
+             ~location:(Finding.At_ts (last_ts, tid))
+             (Fmt.str
+                "trace ends with domain %d holding tvar(s) %s (stopped \
+                 mid-commit?)"
+                tid
+                (String.concat ", "
+                   (List.map string_of_int (List.rev a.held))))))
+    st.attempts
+
+let process ~subject st (e : Tev.t) =
+  match (e.Tev.cat, e.Tev.name, e.Tev.phase) with
+  | Tev.Lock, "acquire", Tev.Instant -> (
+      match Tev.tvar e with Some x -> on_acquire ~subject st e x | None -> ())
+  | Tev.Lock, "release", Tev.Instant -> (
+      match Tev.tvar e with Some x -> on_release ~subject st e x | None -> ())
+  | Tev.Txn, "publish", Tev.Instant -> (
+      match Tev.tvar e with Some x -> on_publish ~subject st e x | None -> ())
+  | Tev.Txn, "attempt", Tev.Span_end -> on_attempt_end ~subject st e
+  | _ -> ()
+
+let scan ~subject events =
+  let events = Tev.by_ts events in
+  let st = initial () in
+  List.iter (process ~subject st) events;
+  (st, events)
+
+(* Merged traces (e.g. a sweep's) carry one pid lane per run, with tids
+   reused across lanes; each lane is an independent execution and is
+   analyzed in isolation. *)
+let lanes events =
+  let m =
+    List.fold_left
+      (fun m (e : Tev.t) -> IMap.add_to_list e.Tev.pid e m)
+      IMap.empty events
+  in
+  List.map snd (IMap.bindings m)
+
+let lint_trace ~subject events =
+  let findings =
+    List.concat_map
+      (fun lane ->
+        let st, lane = scan ~subject lane in
+        let last_ts =
+          match List.rev lane with [] -> 0 | e :: _ -> e.Tev.ts
+        in
+        end_of_trace ~subject st last_ts;
+        cycle_findings ~subject st;
+        st.findings)
+      (lanes events)
+  in
+  List.sort Finding.compare findings
+
+let lock_order_edges events =
+  List.concat_map
+    (fun lane ->
+      let st, _ = scan ~subject:"edges" lane in
+      List.rev_map fst st.edges)
+    (lanes events)

@@ -1,0 +1,45 @@
+(** Trace analyzers: race, lock-order and commit-protocol lints over
+    {!Tm_trace} event streams.
+
+    The analyzers consume the lock/commit vocabulary the [Stm] runtime
+    emits (category {!Tm_trace.Trace_event.Lock}: ["acquire"],
+    ["release"], ["busy"]; category [Txn]: ["attempt"] spans and
+    ["publish"] instants) and understand the TL2 commit protocol: acquire
+    every write-set lock in canonical order, validate, publish (which
+    releases), and never touch a lock after publishing began.  Traces
+    without lock events (e.g. simulator step traces) produce no findings.
+
+    {b Rules:}
+    - [lock-overlap]: a lock was acquired while another holder had it —
+      mutual exclusion broken (the trace-level data race on the lock
+      word);
+    - [unlock-without-lock]: a release by a domain that does not hold the
+      lock;
+    - [publish-without-lock]: a publish to a t-variable whose lock the
+      publishing domain does not hold;
+    - [acquire-after-publish]: a commit acquired a lock after it had
+      started publishing — the lock → validate → publish ordering broken;
+    - [lock-leak]: a transaction attempt ended with locks still held
+      (error), or the trace ended with held locks (warning — the trace
+      may have been stopped mid-commit);
+    - [lock-order-cycle]: the acquired-while-holding graph over
+      t-variables has a cycle — a potential deadlock under a different
+      interleaving;
+    - [hb-race]: two publishes to the same t-variable are concurrent
+      under the vector-clock happens-before order induced by lock
+      release → acquire edges.  Optimistic reads are deliberately outside
+      this rule: TL2 reads race by design and are policed by validation,
+      so only commit-time writes must be totally ordered per variable.
+
+    Events are analyzed in logical-timestamp order; the caller is
+    responsible for handing over a {e complete} trace (ring-buffer
+    truncation can fabricate protocol violations — check
+    [Stm.Trace.dropped] first). *)
+
+val lint_trace :
+  subject:string -> Tm_trace.Trace_event.t list -> Finding.t list
+
+val lock_order_edges : Tm_trace.Trace_event.t list -> (int * int) list
+(** The acquired-while-holding edges (held t-variable, newly acquired
+    t-variable), deduplicated, in first-occurrence order — the lock-order
+    graph the cycle rule runs on.  Exposed for tests and reporting. *)

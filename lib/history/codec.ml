@@ -58,12 +58,16 @@ let parse_events lines =
   in
   go [] (List.filter meaningful lines)
 
-let history_of_string s =
+let history_of_string_lax s =
   match parse_events (String.split_on_char '\n' s) with
   | Error m -> Error m
-  | Ok events ->
-      let h = History.of_events events in
-      (match History.well_formed h with
+  | Ok events -> Ok (History.of_events events)
+
+let history_of_string s =
+  match history_of_string_lax s with
+  | Error _ as e -> e
+  | Ok h -> (
+      match History.well_formed h with
       | Ok () -> Ok h
       | Error m -> Error ("ill-formed history: " ^ m))
 

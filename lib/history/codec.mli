@@ -18,7 +18,14 @@ val event_to_string : Event.t -> string
 val event_of_string : string -> (Event.t, string) result
 
 val history_to_string : History.t -> string
+
 val history_of_string : string -> (History.t, string) result
+(** Parses and rejects ill-formed histories. *)
+
+val history_of_string_lax : string -> (History.t, string) result
+(** Parses without the well-formedness check, so that analysis tools
+    (e.g. [tmlive analyze]) can load a broken history and report {e what}
+    is wrong with it rather than merely that parsing failed. *)
 
 val lasso_to_string : Lasso.t -> string
 val lasso_of_string : string -> (Lasso.t, string) result

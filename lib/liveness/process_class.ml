@@ -26,6 +26,29 @@ let runs_alone l p =
   is_correct l p
   && List.for_all (fun q -> q = p || not (is_correct l q)) (Lasso.procs l)
 
+type cls = Crashed | Parasitic | Starving | Progressing
+
+let cls l p =
+  if crashes l p then Crashed
+  else if is_parasitic l p then Parasitic
+  else if is_pending l p then Starving
+  else Progressing
+
+let cls_label = function
+  | Crashed -> "crashed"
+  | Parasitic -> "parasitic"
+  | Starving -> "starving"
+  | Progressing -> "progressing"
+
+let cls_of_label = function
+  | "crashed" -> Some Crashed
+  | "parasitic" -> Some Parasitic
+  | "starving" -> Some Starving
+  | "progressing" -> Some Progressing
+  | _ -> None
+
+let equal_cls (a : cls) b = a = b
+
 type summary = {
   proc : Event.proc;
   pending : bool;

@@ -32,6 +32,22 @@ val runs_alone : Lasso.t -> Event.proc -> bool
 val correct_processes : Lasso.t -> Event.proc list
 val progressing_processes : Lasso.t -> Event.proc list
 
+(** The taxonomy as a total, mutually exclusive classification: every
+    process of a lasso is exactly one of crashed, parasitic, starving
+    (correct but pending), or progressing (correct and committing
+    infinitely often).  This is the paper's Figure-2 partition flattened
+    into one value — the form the analysis layer's liveness lints compare
+    against claimed verdicts. *)
+type cls = Crashed | Parasitic | Starving | Progressing
+
+val cls : Lasso.t -> Event.proc -> cls
+
+val cls_label : cls -> string
+(** ["crashed"], ["parasitic"], ["starving"], ["progressing"]. *)
+
+val cls_of_label : string -> cls option
+val equal_cls : cls -> cls -> bool
+
 type summary = {
   proc : Event.proc;
   pending : bool;

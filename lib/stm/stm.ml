@@ -151,7 +151,7 @@ type wentry = {
 type rentry = { r_id : int; check : rv:int -> owned:(int -> bool) -> bool }
 
 type txn = {
-  mutable rv : int;
+  rv : int;
   mutable reads : rentry list;
   mutable writes : wentry list;  (** unordered; sorted by id at commit *)
 }
@@ -265,7 +265,16 @@ let commit txn =
               if tr then
                 Trace.emit Tev.Lock "busy" Tev.Instant
                   [ ("tvar", Tev.Int w.w_id) ];
-              List.iter (fun a -> a.unlock ()) acquired;
+              (* Emit release before the real unlock: once the vlock is
+                 even another domain can acquire it, and its acquire
+                 event must sequence after ours. *)
+              List.iter
+                (fun a ->
+                  if tr then
+                    Trace.emit Tev.Lock "release" Tev.Instant
+                      [ ("tvar", Tev.Int a.w_id) ];
+                  a.unlock ())
+                acquired;
               raise Conflict
             end
       in
@@ -283,10 +292,29 @@ let commit txn =
           if tr then
             Trace.emit Tev.Validation "read-invalid" Tev.Instant
               [ ("tvar", Tev.Int bad) ];
-          List.iter (fun w -> w.unlock ()) acquired;
+          List.iter
+            (fun w ->
+              if tr then
+                Trace.emit Tev.Lock "release" Tev.Instant
+                  [ ("tvar", Tev.Int w.w_id) ];
+              w.unlock ())
+            acquired;
           raise Conflict
       | None -> ());
-      List.iter (fun w -> w.publish w.value wv) acquired
+      (* Publishing a t-variable also releases its lock (the vlock is set
+         to the new even version), hence the paired release event.  Both
+         events are emitted while the lock is still really held so that a
+         competing domain's acquire event can only sequence after them. *)
+      List.iter
+        (fun w ->
+          if tr then begin
+            Trace.emit Tev.Txn "publish" Tev.Instant
+              [ ("tvar", Tev.Int w.w_id) ];
+            Trace.emit Tev.Lock "release" Tev.Instant
+              [ ("tvar", Tev.Int w.w_id) ]
+          end;
+          w.publish w.value wv)
+        acquired
 
 let backoff attempts prng_state =
   let bound = 1 lsl min attempts 10 in

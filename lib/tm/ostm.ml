@@ -10,7 +10,6 @@ type phase =
   | Done of bool  (** success? *)
 
 type descriptor = {
-  d_owner : Event.proc;
   d_rv : int;
   d_reads : (Event.tvar * int) list;
   d_writes : (Event.tvar * Event.value) list;  (** canonical order *)
@@ -175,7 +174,6 @@ let poll t p =
               else begin
                 let d =
                   {
-                    d_owner = p;
                     d_rv = txn.rv;
                     d_reads = txn.reads;
                     d_writes = write_set txn;

@@ -64,3 +64,23 @@ let pp ppf e =
     (category_label e.cat) (phase_code e.phase) e.name;
   (match e.phase with Counter v -> Fmt.pf ppf "=%d" v | _ -> ());
   List.iter (fun a -> Fmt.pf ppf " %a" pp_arg a) e.args
+
+(* --- finding-friendly accessors (used by Tm_analysis) --- *)
+
+let arg_int e k =
+  match List.assoc_opt k e.args with Some (Int v) -> Some v | _ -> None
+
+let arg_str e k =
+  match List.assoc_opt k e.args with Some (Str s) -> Some s | _ -> None
+
+let tvar e = arg_int e "tvar"
+let outcome e = arg_str e "outcome"
+
+let is_span_begin e = e.phase = Span_begin
+let is_span_end e = e.phase = Span_end
+let is_instant e = e.phase = Instant
+
+let is_named e cat name = e.cat = cat && e.name = name
+
+let by_ts es =
+  List.stable_sort (fun (a : t) b -> Int.compare a.ts b.ts) es

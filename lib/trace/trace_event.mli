@@ -67,3 +67,31 @@ val equal : t -> t -> bool
 
 val pp : Format.formatter -> t -> unit
 (** One-line text form: [ts pid/tid category phase name k=v ...]. *)
+
+(** {2 Finding-friendly accessors}
+
+    Small helpers for analyzers that pattern-match on event streams
+    (see [Tm_analysis]), so rule code reads as protocol logic rather than
+    association-list plumbing. *)
+
+val arg_int : t -> string -> int option
+(** [arg_int e k] is the integer argument named [k], if any. *)
+
+val arg_str : t -> string -> string option
+
+val tvar : t -> int option
+(** The conventional ["tvar"] integer argument (lock and publish events). *)
+
+val outcome : t -> string option
+(** The conventional ["outcome"] string argument (attempt span ends). *)
+
+val is_span_begin : t -> bool
+val is_span_end : t -> bool
+val is_instant : t -> bool
+
+val is_named : t -> category -> string -> bool
+(** [is_named e cat name] holds iff [e] belongs to [cat] and is called
+    [name]. *)
+
+val by_ts : t list -> t list
+(** Stable sort by logical timestamp — the canonical analysis order. *)

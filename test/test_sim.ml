@@ -418,6 +418,22 @@ let test_sweep_grid_canonical_order () =
           (fun c -> c.Tm_sim.Sweep.tm.Reg.entry_name)
           configs))
 
+let test_sweep_json_file_deterministic () =
+  let tms = List.filter_map Reg.find [ "tl2" ] in
+  let configs =
+    Tm_sim.Sweep.grid ~tms
+      ~patterns:(Tm_sim.Sweep.fault_patterns ~steps:100 ())
+      ~seeds:[ 1 ] ()
+  in
+  let dump () =
+    Tm_test_util.Util.with_temp_file ~suffix:".json" (fun path ->
+        Tm_test_util.Util.write_file path
+          (Tm_sim.Sweep.to_json (Tm_sim.Sweep.run configs));
+        Tm_test_util.Util.read_file path)
+  in
+  Alcotest.(check string) "metrics JSON byte-stable through a file" (dump ())
+    (dump ())
+
 (* ------------------------------------------------------------------ *)
 (* Statistics helpers. *)
 
@@ -560,6 +576,8 @@ let () =
           Alcotest.test_case "of_outcome" `Quick test_metrics_of_outcome;
           Alcotest.test_case "grid canonical order" `Quick
             test_sweep_grid_canonical_order;
+          Alcotest.test_case "metrics JSON file-stable" `Quick
+            test_sweep_json_file_deterministic;
         ] );
       ( "stats",
         [ Alcotest.test_case "summaries and percentiles" `Quick test_stats ]

@@ -121,6 +121,18 @@ let test_export_rejects_garbage () =
   bad "[{\"name\":\"x\",\"cat\":\"txn\",\"ph\":\"Z\",\"ts\":0,\"pid\":0,\"tid\":0,\"args\":{}}]";
   bad "[ {\"name\":\"x\"} "
 
+let test_export_file_round_trip () =
+  Tm_test_util.Util.with_temp_file ~suffix:".json" (fun path ->
+      Tm_test_util.Util.with_out_channel path (fun oc ->
+          Tm_trace.Export.to_chrome_channel oc sample_events);
+      match
+        Tm_trace.Export.of_chrome_string (Tm_test_util.Util.read_file path)
+      with
+      | Ok parsed ->
+          Alcotest.(check (list event)) "write file -> read -> same events"
+            sample_events parsed
+      | Error msg -> Alcotest.failf "file round-trip failed: %s" msg)
+
 let test_text_dump () =
   let text = Tm_trace.Export.text_string sample_events in
   let lines = String.split_on_char '\n' text in
@@ -341,6 +353,8 @@ let () =
             test_export_chrome_shape;
           Alcotest.test_case "rejects malformed input" `Quick
             test_export_rejects_garbage;
+          Alcotest.test_case "file round-trip" `Quick
+            test_export_file_round_trip;
           Alcotest.test_case "text dump" `Quick test_text_dump;
         ] );
       ( "runner",

@@ -1,0 +1,24 @@
+(* Shared test helpers: temp files that are removed even when the test
+   body raises (Alcotest failures included). *)
+
+let with_temp_file ?(prefix = "tmlive-test") ?(suffix = ".tmp") f =
+  let path = Filename.temp_file prefix suffix in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_out_channel path f =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
