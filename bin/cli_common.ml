@@ -1,0 +1,184 @@
+(* Shared plumbing for the tmlive subcommands: argument converters, the
+   common simulation flags, the pooled sweep dispatch, and traced-run
+   assembly (the pieces sweep/trace/analyze/chaos all need). *)
+
+open Cmdliner
+
+(* ---- converters ---- *)
+
+let tm_conv =
+  let parse s =
+    match Tm_impl.Registry.find s with
+    | Some e -> Ok e
+    | None ->
+        Error
+          (`Msg
+            (Fmt.str "unknown TM %S (try: %s)" s
+               (String.concat ", " Tm_impl.Registry.names)))
+  in
+  let print ppf e = Fmt.string ppf e.Tm_impl.Registry.entry_name in
+  Arg.conv (parse, print)
+
+let sched_conv =
+  let parse = function
+    | "rr" | "round-robin" -> Ok Tm_sim.Runner.Round_robin
+    | "uniform" | "random" -> Ok Tm_sim.Runner.Uniform
+    | s -> (
+        match int_of_string_opt s with
+        | Some q when q > 0 -> Ok (Tm_sim.Runner.Quantum q)
+        | Some _ | None ->
+            Error (`Msg "scheduler: rr | uniform | <quantum size>"))
+  in
+  let print ppf = function
+    | Tm_sim.Runner.Round_robin -> Fmt.string ppf "rr"
+    | Tm_sim.Runner.Uniform -> Fmt.string ppf "uniform"
+    | Tm_sim.Runner.Quantum q -> Fmt.pf ppf "%d" q
+  in
+  Arg.conv (parse, print)
+
+let fault_conv =
+  let names () = List.map fst (Tm_sim.Sweep.fault_patterns ()) in
+  let parse s =
+    if List.mem s (names ()) then Ok s
+    else
+      Error
+        (`Msg
+          (Fmt.str "unknown fault pattern %S (try: %s)" s
+             (String.concat ", " (names ()))))
+  in
+  Arg.conv (parse, Fmt.string)
+
+let scenario_conv =
+  let parse s =
+    if List.mem s Tm_chaos.Plan.scenarios then Ok s
+    else
+      Error
+        (`Msg
+          (Fmt.str "unknown scenario %S (try: %s)" s
+             (String.concat ", " Tm_chaos.Plan.scenarios)))
+  in
+  Arg.conv (parse, Fmt.string)
+
+(* ---- the common simulation flags (defaults vary per subcommand) ---- *)
+
+let nprocs_arg ?(default = 3) () =
+  Arg.(
+    value & opt int default
+    & info [ "p"; "procs" ] ~doc:"Number of processes.")
+
+let ntvars_arg ?(default = 4) () =
+  Arg.(
+    value & opt int default
+    & info [ "t"; "tvars" ] ~doc:"Number of t-variables.")
+
+let steps_arg ?(default = 400) () =
+  Arg.(value & opt int default & info [ "n"; "steps" ] ~doc:"Simulation steps.")
+
+let seed_arg ?(default = 0) () =
+  Arg.(value & opt int default & info [ "seed" ] ~doc:"PRNG seed.")
+
+let sched_arg () =
+  Arg.(
+    value
+    & opt sched_conv Tm_sim.Runner.Uniform
+    & info [ "sched" ] ~doc:"Scheduler: rr, uniform, or a quantum size.")
+
+let jobs_arg ~doc () =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc)
+
+let tms_arg ~doc () =
+  Arg.(value & opt (list tm_conv) [] & info [ "tm" ] ~docv:"NAMES" ~doc)
+
+let faults_arg ~doc () =
+  Arg.(value & opt (list fault_conv) [] & info [ "faults" ] ~docv:"PATTERNS" ~doc)
+
+let resolve_patterns ~nprocs ~ntvars ~steps ~sched faults =
+  let all = Tm_sim.Sweep.fault_patterns ~nprocs ~ntvars ~steps ~sched () in
+  match faults with
+  | [] -> all
+  | names ->
+      (* Names were validated by [fault_conv]; the assoc cannot fail. *)
+      List.map (fun n -> (n, List.assoc n all)) names
+
+(* ---- sweep dispatch ---- *)
+
+(* One place decides sequential vs pooled execution; results are
+   bit-for-bit identical for every [jobs] value. *)
+let run_sweep ~jobs ~trace configs =
+  let jobs = max 1 jobs in
+  if jobs > 1 then
+    Tm_sim.Pool.with_pool ~jobs (fun pool ->
+        Tm_sim.Sweep.run ~pool ~trace configs)
+  else Tm_sim.Sweep.run ~trace configs
+
+(* ---- traced-run assembly ---- *)
+
+module Tev = Tm_trace.Trace_event
+
+let metadata_event ~pid label =
+  {
+    Tev.ts = 0;
+    pid;
+    tid = 0;
+    cat = Tev.Sched;
+    name = "process_name";
+    phase = Tev.Metadata;
+    args = [ ("name", Tev.Str label) ];
+  }
+
+(* A run's full trace: a process-name metadata record, the runner's
+   events, then the monitor's streamed verdict events — all tagged with
+   the run's grid index as pid, so a trace viewer shows one process lane
+   per configuration.  Composing in canonical grid order makes the merged
+   trace independent of how the sweep was sharded across jobs. *)
+let run_trace_events i (r : Tm_sim.Sweep.result) =
+  let retag (e : Tev.t) = { e with Tev.pid = i } in
+  let col = Tm_trace.Sink.collector () in
+  ignore
+    (Tm_safety.Monitor.run_traced
+       ~trace:(Tm_trace.Sink.collector_sink col)
+       r.Tm_sim.Sweep.r_outcome.Tm_sim.Runner.history);
+  (metadata_event ~pid:i (Tm_sim.Sweep.label r.Tm_sim.Sweep.r_config)
+  :: List.map retag r.Tm_sim.Sweep.r_trace)
+  @ List.map retag (Tm_trace.Sink.collected col)
+
+let combined_trace results = List.concat (List.mapi run_trace_events results)
+
+let write_trace_file file events =
+  let oc = open_out file in
+  Tm_trace.Export.to_chrome_channel oc events;
+  close_out oc
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A real multicore workload on the [Stm] runtime, traced: [jobs] domains
+   transfer between [ntvars] accounts.  Returns the recorded events (and
+   checks conservation as a sanity net). *)
+let stm_demo_events ~jobs ~ntvars ~steps =
+  let module Stm = Tm_stm.Stm in
+  let n = max 2 ntvars in
+  let accounts = Array.init n (fun _ -> Stm.tvar 1000) in
+  Stm.Trace.start ~capacity:(1 lsl 18) ();
+  let worker k () =
+    let st = ref (k + 1) in
+    for _ = 1 to steps do
+      let r = (!st * 48271) mod 0x7FFFFFFF in
+      st := r;
+      let src = r mod n and dst = (r / n) mod n in
+      Stm.atomically (fun () ->
+          let v = Stm.read accounts.(src) in
+          Stm.write accounts.(src) (v - 1);
+          Stm.write accounts.(dst) (Stm.read accounts.(dst) + 1))
+    done
+  in
+  let domains = List.init (max 1 jobs) (fun k -> Domain.spawn (worker k)) in
+  List.iter Domain.join domains;
+  Stm.Trace.stop ();
+  let total = Array.fold_left (fun acc a -> acc + Stm.read a) 0 accounts in
+  if total <> 1000 * n then
+    Fmt.epr "stm demo: conservation broken (%d /= %d)!@." total (1000 * n);
+  (Stm.Trace.events (), Stm.Trace.dropped ())

@@ -8,97 +8,14 @@
      game     - run the Theorem-1 adversary against a TM
      matrix   - the Section-3.2.3 solo-progress matrix
      sweep    - run a (TM x fault x seed) grid across domains with metrics
-     model-check - exhaustively check every bounded-depth schedule *)
+     chaos    - deterministic fault injection on the real multicore Stm
+     model-check - exhaustively check every bounded-depth schedule
+
+   Converters, common flags and traced-run assembly live in
+   [Cli_common]. *)
 
 open Cmdliner
-
-let tm_conv =
-  let parse s =
-    match Tm_impl.Registry.find s with
-    | Some e -> Ok e
-    | None ->
-        Error
-          (`Msg
-            (Fmt.str "unknown TM %S (try: %s)" s
-               (String.concat ", " Tm_impl.Registry.names)))
-  in
-  let print ppf e = Fmt.string ppf e.Tm_impl.Registry.entry_name in
-  Arg.conv (parse, print)
-
-let sched_conv =
-  let parse = function
-    | "rr" | "round-robin" -> Ok Tm_sim.Runner.Round_robin
-    | "uniform" | "random" -> Ok Tm_sim.Runner.Uniform
-    | s -> (
-        match int_of_string_opt s with
-        | Some q when q > 0 -> Ok (Tm_sim.Runner.Quantum q)
-        | Some _ | None ->
-            Error (`Msg "scheduler: rr | uniform | <quantum size>"))
-  in
-  let print ppf = function
-    | Tm_sim.Runner.Round_robin -> Fmt.string ppf "rr"
-    | Tm_sim.Runner.Uniform -> Fmt.string ppf "uniform"
-    | Tm_sim.Runner.Quantum q -> Fmt.pf ppf "%d" q
-  in
-  Arg.conv (parse, print)
-
-let fault_conv =
-  let names () = List.map fst (Tm_sim.Sweep.fault_patterns ()) in
-  let parse s =
-    if List.mem s (names ()) then Ok s
-    else
-      Error
-        (`Msg
-          (Fmt.str "unknown fault pattern %S (try: %s)" s
-             (String.concat ", " (names ()))))
-  in
-  Arg.conv (parse, Fmt.string)
-
-let resolve_patterns ~nprocs ~ntvars ~steps ~sched faults =
-  let all = Tm_sim.Sweep.fault_patterns ~nprocs ~ntvars ~steps ~sched () in
-  match faults with
-  | [] -> all
-  | names ->
-      (* Names were validated by [fault_conv]; the assoc cannot fail. *)
-      List.map (fun n -> (n, List.assoc n all)) names
-
-(* ------------------------------------------------------------------ *)
-
-module Tev = Tm_trace.Trace_event
-
-let metadata_event ~pid label =
-  {
-    Tev.ts = 0;
-    pid;
-    tid = 0;
-    cat = Tev.Sched;
-    name = "process_name";
-    phase = Tev.Metadata;
-    args = [ ("name", Tev.Str label) ];
-  }
-
-(* A run's full trace: a process-name metadata record, the runner's
-   events, then the monitor's streamed verdict events — all tagged with
-   the run's grid index as pid, so a trace viewer shows one process lane
-   per configuration.  Composing in canonical grid order makes the merged
-   trace independent of how the sweep was sharded across jobs. *)
-let run_trace_events i (r : Tm_sim.Sweep.result) =
-  let retag (e : Tev.t) = { e with Tev.pid = i } in
-  let col = Tm_trace.Sink.collector () in
-  ignore
-    (Tm_safety.Monitor.run_traced
-       ~trace:(Tm_trace.Sink.collector_sink col)
-       r.Tm_sim.Sweep.r_outcome.Tm_sim.Runner.history);
-  (metadata_event ~pid:i (Tm_sim.Sweep.label r.Tm_sim.Sweep.r_config)
-  :: List.map retag r.Tm_sim.Sweep.r_trace)
-  @ List.map retag (Tm_trace.Sink.collected col)
-
-let combined_trace results = List.concat (List.mapi run_trace_events results)
-
-let write_trace_file file events =
-  let oc = open_out file in
-  Tm_trace.Export.to_chrome_channel oc events;
-  close_out oc
+open Cli_common
 
 (* ------------------------------------------------------------------ *)
 
@@ -210,22 +127,11 @@ let simulate_cmd =
     | ps ->
         Fmt.pr "blocked processes: %a@." Fmt.(list ~sep:(any ", ") int) ps
   in
-  let nprocs =
-    Arg.(value & opt int 3 & info [ "p"; "procs" ] ~doc:"Number of processes.")
-  in
-  let ntvars =
-    Arg.(value & opt int 4 & info [ "t"; "tvars" ] ~doc:"Number of t-variables.")
-  in
-  let steps =
-    Arg.(value & opt int 400 & info [ "n"; "steps" ] ~doc:"Simulation steps.")
-  in
-  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let sched =
-    Arg.(
-      value
-      & opt sched_conv Tm_sim.Runner.Uniform
-      & info [ "sched" ] ~doc:"Scheduler: rr, uniform, or a quantum size.")
-  in
+  let nprocs = nprocs_arg () in
+  let ntvars = ntvars_arg () in
+  let steps = steps_arg () in
+  let seed = seed_arg () in
+  let sched = sched_arg () in
   let crash =
     Arg.(
       value
@@ -336,17 +242,10 @@ let monitor_cmd =
     | Tm_safety.Monitor.No_witness m ->
         Fmt.pr "monitor: no commit-order witness (%s)@." m
   in
-  let nprocs =
-    Arg.(value & opt int 4 & info [ "p"; "procs" ] ~doc:"Number of processes.")
-  in
-  let ntvars =
-    Arg.(value & opt int 4 & info [ "t"; "tvars" ] ~doc:"Number of t-variables.")
-  in
-  let steps =
-    Arg.(
-      value & opt int 50_000 & info [ "n"; "steps" ] ~doc:"Simulation steps.")
-  in
-  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let nprocs = nprocs_arg ~default:4 () in
+  let ntvars = ntvars_arg () in
+  let steps = steps_arg ~default:50_000 () in
+  let seed = seed_arg () in
   Cmd.v
     (Cmd.info "monitor"
        ~doc:
@@ -404,12 +303,7 @@ let sweep_cmd =
     in
     let trace = Option.is_some trace_file in
     let t0 = Unix.gettimeofday () in
-    let results =
-      if jobs > 1 then
-        Tm_sim.Pool.with_pool ~jobs (fun pool ->
-            Tm_sim.Sweep.run ~pool ~trace configs)
-      else Tm_sim.Sweep.run ~trace configs
-    in
+    let results = run_sweep ~jobs ~trace configs in
     let dt = Unix.gettimeofday () -. t0 in
     (match metrics_format with
     | `Json -> Fmt.pr "%s@." (Tm_sim.Sweep.to_json results)
@@ -457,48 +351,31 @@ let sweep_cmd =
       jobs
   in
   let tms =
-    Arg.(
-      value
-      & opt (list tm_conv) []
-      & info [ "tm" ] ~docv:"NAMES"
-          ~doc:"Comma-separated TM names to sweep (default: the whole zoo).")
+    tms_arg ~doc:"Comma-separated TM names to sweep (default: the whole zoo)."
+      ()
   in
   let faults =
-    Arg.(
-      value
-      & opt (list fault_conv) []
-      & info [ "faults" ] ~docv:"PATTERNS"
-          ~doc:
-            "Comma-separated fault patterns: healthy, crash, parasite, \
-             mixed (default: all four).")
+    faults_arg
+      ~doc:
+        "Comma-separated fault patterns: healthy, crash, parasite, mixed \
+         (default: all four)."
+      ()
   in
   let seeds =
     Arg.(
       value & opt int 4
       & info [ "seeds" ] ~doc:"Number of seeds per configuration (1..N).")
   in
-  let nprocs =
-    Arg.(value & opt int 3 & info [ "p"; "procs" ] ~doc:"Number of processes.")
-  in
-  let ntvars =
-    Arg.(value & opt int 4 & info [ "t"; "tvars" ] ~doc:"Number of t-variables.")
-  in
-  let steps =
-    Arg.(value & opt int 1000 & info [ "n"; "steps" ] ~doc:"Simulation steps.")
-  in
-  let sched =
-    Arg.(
-      value
-      & opt sched_conv Tm_sim.Runner.Uniform
-      & info [ "sched" ] ~doc:"Scheduler: rr, uniform, or a quantum size.")
-  in
+  let nprocs = nprocs_arg () in
+  let ntvars = ntvars_arg () in
+  let steps = steps_arg ~default:1000 () in
+  let sched = sched_arg () in
   let jobs =
-    Arg.(
-      value & opt int 1
-      & info [ "j"; "jobs" ]
-          ~doc:
-            "Worker domains to shard the sweep across; results are \
-             bit-for-bit identical for every value.")
+    jobs_arg
+      ~doc:
+        "Worker domains to shard the sweep across; results are bit-for-bit \
+         identical for every value."
+      ()
   in
   let metrics_file =
     Arg.(
@@ -539,16 +416,10 @@ let sweep_cmd =
 
 let trace_cmd =
   let run tms faults seed nprocs ntvars steps sched jobs out format =
-    let jobs = max 1 jobs in
     let tms = match tms with [] -> Tm_impl.Registry.all | tms -> tms in
     let patterns = resolve_patterns ~nprocs ~ntvars ~steps ~sched faults in
     let configs = Tm_sim.Sweep.grid ~tms ~patterns ~seeds:[ seed ] () in
-    let results =
-      if jobs > 1 then
-        Tm_sim.Pool.with_pool ~jobs (fun pool ->
-            Tm_sim.Sweep.run ~pool ~trace:true configs)
-      else Tm_sim.Sweep.run ~trace:true configs
-    in
+    let results = run_sweep ~jobs ~trace:true configs in
     let events = combined_trace results in
     let render oc =
       match format with
@@ -564,44 +435,26 @@ let trace_cmd =
         Fmt.pr "wrote %d trace events to %s@." (List.length events) file
   in
   let tms =
-    Arg.(
-      value
-      & opt (list tm_conv) []
-      & info [ "tm" ] ~docv:"NAMES"
-          ~doc:"Comma-separated TM names to trace (default: the whole zoo).")
+    tms_arg ~doc:"Comma-separated TM names to trace (default: the whole zoo)."
+      ()
   in
   let faults =
-    Arg.(
-      value
-      & opt (list fault_conv) []
-      & info [ "faults" ] ~docv:"PATTERNS"
-          ~doc:
-            "Comma-separated fault patterns: healthy, crash, parasite, \
-             mixed (default: all four).")
+    faults_arg
+      ~doc:
+        "Comma-separated fault patterns: healthy, crash, parasite, mixed \
+         (default: all four)."
+      ()
   in
-  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let nprocs =
-    Arg.(value & opt int 3 & info [ "p"; "procs" ] ~doc:"Number of processes.")
-  in
-  let ntvars =
-    Arg.(value & opt int 4 & info [ "t"; "tvars" ] ~doc:"Number of t-variables.")
-  in
-  let steps =
-    Arg.(value & opt int 400 & info [ "n"; "steps" ] ~doc:"Simulation steps.")
-  in
-  let sched =
-    Arg.(
-      value
-      & opt sched_conv Tm_sim.Runner.Uniform
-      & info [ "sched" ] ~doc:"Scheduler: rr, uniform, or a quantum size.")
-  in
+  let seed = seed_arg ~default:1 () in
+  let nprocs = nprocs_arg () in
+  let ntvars = ntvars_arg () in
+  let steps = steps_arg () in
+  let sched = sched_arg () in
   let jobs =
-    Arg.(
-      value & opt int 1
-      & info [ "j"; "jobs" ]
-          ~doc:
-            "Worker domains; the trace is byte-for-bit identical for every \
-             value.")
+    jobs_arg
+      ~doc:
+        "Worker domains; the trace is byte-for-bit identical for every value."
+      ()
   in
   let out =
     Arg.(
@@ -739,16 +592,10 @@ let dump_cmd =
       (Tm_history.History.length o.Tm_sim.Runner.history)
       file
   in
-  let nprocs =
-    Arg.(value & opt int 3 & info [ "p"; "procs" ] ~doc:"Number of processes.")
-  in
-  let ntvars =
-    Arg.(value & opt int 4 & info [ "t"; "tvars" ] ~doc:"Number of t-variables.")
-  in
-  let steps =
-    Arg.(value & opt int 400 & info [ "n"; "steps" ] ~doc:"Simulation steps.")
-  in
-  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let nprocs = nprocs_arg () in
+  let ntvars = ntvars_arg () in
+  let steps = steps_arg () in
+  let seed = seed_arg () in
   let file =
     Arg.(
       required
@@ -802,42 +649,6 @@ let check_cmd =
 (* ------------------------------------------------------------------ *)
 
 module An = Tm_analysis
-
-let read_file file =
-  let ic = open_in_bin file in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-(* A real multicore workload on the [Stm] runtime, traced: [jobs] domains
-   transfer between [ntvars] accounts.  Returns the recorded events (and
-   checks conservation as a sanity net). *)
-let stm_demo_events ~jobs ~ntvars ~steps =
-  let module Stm = Tm_stm.Stm in
-  let n = max 2 ntvars in
-  let accounts = Array.init n (fun _ -> Stm.tvar 1000) in
-  Stm.Trace.start ~capacity:(1 lsl 18) ();
-  let worker k () =
-    let st = ref (k + 1) in
-    for _ = 1 to steps do
-      let r = (!st * 48271) mod 0x7FFFFFFF in
-      st := r;
-      let src = r mod n and dst = (r / n) mod n in
-      Stm.atomically (fun () ->
-          let v = Stm.read accounts.(src) in
-          Stm.write accounts.(src) (v - 1);
-          Stm.write accounts.(dst) (Stm.read accounts.(dst) + 1))
-    done
-  in
-  let domains = List.init (max 1 jobs) (fun k -> Domain.spawn (worker k)) in
-  List.iter Domain.join domains;
-  Stm.Trace.stop ();
-  let total =
-    Array.fold_left (fun acc a -> acc + Stm.read a) 0 accounts
-  in
-  if total <> 1000 * n then
-    Fmt.epr "stm demo: conservation broken (%d /= %d)!@." total (1000 * n);
-  (Stm.Trace.events (), Stm.Trace.dropped ())
 
 let analyze_cmd =
   let run histories traces figures sweep stm_demo rules_str format out
@@ -899,7 +710,6 @@ let analyze_cmd =
           Tm_history.Figures.all_lassos
       end;
       if sweep then begin
-        let jobs = max 1 jobs in
         let tms = match tms with [] -> Tm_impl.Registry.all | tms -> tms in
         let patterns =
           resolve_patterns ~nprocs ~ntvars ~steps ~sched faults
@@ -909,12 +719,7 @@ let analyze_cmd =
             ~seeds:(List.init seeds (fun i -> i + 1))
             ()
         in
-        let results =
-          if jobs > 1 then
-            Tm_sim.Pool.with_pool ~jobs (fun pool ->
-                Tm_sim.Sweep.run ~pool ~trace:true configs)
-          else Tm_sim.Sweep.run ~trace:true configs
-        in
+        let results = run_sweep ~jobs ~trace:true configs in
         List.iter
           (fun (r : Tm_sim.Sweep.result) ->
             let subject = Tm_sim.Sweep.label r.Tm_sim.Sweep.r_config in
@@ -1023,46 +828,20 @@ let analyze_cmd =
       value & flag
       & info [ "list-rules" ] ~doc:"Print the rule catalogue and exit.")
   in
-  let tms =
-    Arg.(
-      value
-      & opt (list tm_conv) []
-      & info [ "tm" ] ~docv:"NAMES"
-          ~doc:"TMs for $(b,--sweep) (default: the whole zoo).")
-  in
+  let tms = tms_arg ~doc:"TMs for $(b,--sweep) (default: the whole zoo)." () in
   let faults =
-    Arg.(
-      value
-      & opt (list fault_conv) []
-      & info [ "faults" ] ~docv:"PATTERNS"
-          ~doc:"Fault patterns for $(b,--sweep) (default: all four).")
+    faults_arg ~doc:"Fault patterns for $(b,--sweep) (default: all four)." ()
   in
   let seeds =
     Arg.(
       value & opt int 2
       & info [ "seeds" ] ~doc:"Seeds per configuration for $(b,--sweep).")
   in
-  let nprocs =
-    Arg.(value & opt int 3 & info [ "p"; "procs" ] ~doc:"Number of processes.")
-  in
-  let ntvars =
-    Arg.(value & opt int 4 & info [ "t"; "tvars" ] ~doc:"Number of t-variables.")
-  in
-  let steps =
-    Arg.(value & opt int 400 & info [ "n"; "steps" ] ~doc:"Simulation steps.")
-  in
-  let sched =
-    Arg.(
-      value
-      & opt sched_conv Tm_sim.Runner.Uniform
-      & info [ "sched" ] ~doc:"Scheduler: rr, uniform, or a quantum size.")
-  in
-  let jobs =
-    Arg.(
-      value & opt int 1
-      & info [ "j"; "jobs" ]
-          ~doc:"Worker domains for $(b,--sweep) / $(b,--stm).")
-  in
+  let nprocs = nprocs_arg () in
+  let ntvars = ntvars_arg () in
+  let steps = steps_arg () in
+  let sched = sched_arg () in
+  let jobs = jobs_arg ~doc:"Worker domains for $(b,--sweep) / $(b,--stm)." () in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
@@ -1074,6 +853,116 @@ let analyze_cmd =
       const run $ histories $ traces $ figures $ sweep $ stm_demo $ rules
       $ format $ out $ list_rules $ tms $ faults $ seeds $ nprocs $ ntvars
       $ steps $ sched $ jobs)
+
+(* ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let run list_scenarios scenario seed domains tvars warmup window format out
+      trace_file =
+    if list_scenarios then
+      List.iter
+        (fun s ->
+          Fmt.pr "%-20s %s@." s
+            (Option.value ~default:"" (Tm_chaos.Plan.scenario_doc s)))
+        Tm_chaos.Plan.scenarios
+    else
+      match Tm_chaos.Plan.make ~scenario ~seed ~domains with
+      | Error m ->
+          Fmt.epr "error: %s@." m;
+          exit 2
+      | Ok plan ->
+          let o = Tm_chaos.Runner.run ~tvars ~warmup ~window plan in
+          (match format with
+          | `Table -> Fmt.pr "%a" Tm_chaos.Runner.pp_table o
+          | `Json -> Fmt.pr "%s@." (Tm_chaos.Runner.to_json o));
+          (match out with
+          | None -> ()
+          | Some file ->
+              let oc = open_out file in
+              output_string oc (Tm_chaos.Runner.to_json o);
+              output_char oc '\n';
+              close_out oc;
+              Fmt.epr "verdicts written to %s@." file);
+          (match trace_file with
+          | None -> ()
+          | Some file ->
+              let label = Fmt.str "chaos/%s/seed=%d" scenario seed in
+              let events =
+                metadata_event ~pid:0 label :: o.Tm_chaos.Runner.o_events
+              in
+              write_trace_file file events;
+              Fmt.epr "trace: %d events written to %s@." (List.length events)
+                file);
+          exit (if o.Tm_chaos.Runner.o_ok then 0 else 1)
+  in
+  let list_scenarios =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the fault scenarios and exit.")
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt scenario_conv "healthy"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Fault scenario to inject (see $(b,--list)).")
+  in
+  let seed = seed_arg () in
+  let domains =
+    Arg.(
+      value & opt int 4
+      & info [ "d"; "domains" ] ~doc:"Worker domains to spawn (>= 2).")
+  in
+  let tvars = ntvars_arg () in
+  let warmup =
+    Arg.(
+      value & opt float 0.05
+      & info [ "warmup" ] ~docv:"SECONDS"
+          ~doc:"Settle time before the first watchdog sample.")
+  in
+  let window =
+    Arg.(
+      value & opt float 0.15
+      & info [ "window" ] ~docv:"SECONDS"
+          ~doc:"Observation window between the two watchdog samples.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Verdicts on stdout as $(b,table) (plan schedule plus per-domain \
+             verdict lines) or $(b,json) (the same document $(b,-o) writes).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write the verdict JSON document here (CI artifact).")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the chaos trace here as Chrome trace_event JSON: the \
+             planned fault schedule ($(b,Fault) instants on each domain's \
+             operation clock) and the empirical verdict instants — \
+             byte-identical for a fixed (scenario, seed, domains).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Inject a seeded fault plan into the real multicore Stm runtime, \
+          watch per-domain progress counters, and gate on the expected \
+          Figure-2 classes (crashed / parasitic / starving / progressing).  \
+          Exits 1 on any verdict mismatch.")
+    Term.(
+      const run $ list_scenarios $ scenario $ seed $ domains $ tvars $ warmup
+      $ window $ format $ out $ trace_file)
 
 let () =
   let info =
@@ -1087,6 +976,7 @@ let () =
        (Cmd.group info
           [
             zoo_cmd; figures_cmd; simulate_cmd; game_cmd; matrix_cmd;
-            monitor_cmd; sweep_cmd; trace_cmd; analyze_cmd; model_check_cmd;
-            explore_cmd; crash_windows_cmd; dump_cmd; check_cmd;
+            monitor_cmd; sweep_cmd; trace_cmd; chaos_cmd; analyze_cmd;
+            model_check_cmd; explore_cmd; crash_windows_cmd; dump_cmd;
+            check_cmd;
           ]))

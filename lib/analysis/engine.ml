@@ -109,6 +109,13 @@ let rules =
       doc =
         "two publishes to one t-variable are concurrent under happens-before";
     };
+    {
+      id = "chaos-class";
+      family = Trace_rule;
+      severity = Finding.Error;
+      doc =
+        "an injected chaos fault disagrees with the empirical verdict events";
+    };
   ]
 
 let rule_ids = List.map (fun r -> r.id) rules

@@ -225,6 +225,68 @@ let end_of_trace ~subject st last_ts =
                    (List.map string_of_int (List.rev a.held))))))
     st.attempts
 
+(* Chaos cross-check: within one lane, injected fault instants (category
+   [Fault], names [chaos-crash] / [chaos-parasitic]) and empirical
+   verdict instants (category [Monitor], name [chaos-verdict]) must
+   agree — a crash must be classified crashed, a parasitic turn
+   parasitic, and no domain may be classified crashed/parasitic without
+   a matching injected fault.  Lanes without verdict events (ordinary
+   STM or simulator traces) produce no findings. *)
+let chaos_lane_findings ~subject events =
+  let faults : (int, string * int) Hashtbl.t = Hashtbl.create 8 in
+  let verdicts : (int, string * int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Tev.t) ->
+      match (e.Tev.cat, e.Tev.name, e.Tev.phase) with
+      | Tev.Fault, "chaos-crash", Tev.Instant ->
+          Hashtbl.replace faults e.Tev.tid ("crashed", e.Tev.ts)
+      | Tev.Fault, "chaos-parasitic", Tev.Instant ->
+          Hashtbl.replace faults e.Tev.tid ("parasitic", e.Tev.ts)
+      | Tev.Monitor, "chaos-verdict", Tev.Instant -> (
+          match Tev.arg_str e "class" with
+          | Some c -> Hashtbl.replace verdicts e.Tev.tid (c, e.Tev.ts)
+          | None -> ())
+      | _ -> ())
+    events;
+  if Hashtbl.length verdicts = 0 then []
+  else begin
+    let fs = ref [] in
+    let report ts tid msg =
+      fs :=
+        err ~subject ~rule:"chaos-class"
+          ~location:(Finding.At_ts (ts, tid))
+          msg
+        :: !fs
+    in
+    Hashtbl.iter
+      (fun tid (kind, ts) ->
+        match Hashtbl.find_opt verdicts tid with
+        | Some (c, _) when c = kind -> ()
+        | Some (c, vts) ->
+            report vts tid
+              (Fmt.str
+                 "domain %d has an injected %s fault but was classified %s"
+                 tid kind c)
+        | None ->
+            report ts tid
+              (Fmt.str
+                 "domain %d has an injected %s fault but no chaos verdict"
+                 tid kind))
+      faults;
+    Hashtbl.iter
+      (fun tid (c, ts) ->
+        if
+          (c = "crashed" || c = "parasitic")
+          && not (Hashtbl.mem faults tid)
+        then
+          report ts tid
+            (Fmt.str
+               "domain %d was classified %s with no injected fault event" tid
+               c))
+      verdicts;
+    !fs
+  end
+
 let process ~subject st (e : Tev.t) =
   match (e.Tev.cat, e.Tev.name, e.Tev.phase) with
   | Tev.Lock, "acquire", Tev.Instant -> (
@@ -263,7 +325,7 @@ let lint_trace ~subject events =
         in
         end_of_trace ~subject st last_ts;
         cycle_findings ~subject st;
-        st.findings)
+        chaos_lane_findings ~subject lane @ st.findings)
       (lanes events)
   in
   List.sort Finding.compare findings

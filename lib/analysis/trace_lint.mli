@@ -29,7 +29,14 @@
       under the vector-clock happens-before order induced by lock
       release → acquire edges.  Optimistic reads are deliberately outside
       this rule: TL2 reads race by design and are policed by validation,
-      so only commit-time writes must be totally ordered per variable.
+      so only commit-time writes must be totally ordered per variable;
+    - [chaos-class]: in chaos traces (see [Tm_chaos]), the injected
+      fault schedule ([Fault] instants [chaos-crash] /
+      [chaos-parasitic]) must agree with the empirical verdict instants
+      ([Monitor] / [chaos-verdict]): every injected crash classified
+      crashed, every parasitic turn parasitic, and no crashed/parasitic
+      verdict without a matching injected fault.  Lanes without verdict
+      events are exempt.
 
     Events are analyzed in logical-timestamp order; the caller is
     responsible for handing over a {e complete} trace (ring-buffer

@@ -1,0 +1,240 @@
+module Stm = Tm_stm.Stm
+module Pc = Tm_liveness.Process_class
+module Emp = Tm_liveness.Empirical
+module Tev = Tm_trace.Trace_event
+
+type sample = { ops : int; trycs : int; commits : int; aborts : int }
+
+(* Per-domain monotone counters, written by the worker (and by the chaos
+   handler on its domain), sampled by the watchdog.  Aborts are derived:
+   every transaction body start is an attempt, every [atomically] return
+   a commit, and each attempt either commits or aborts. *)
+type cell = {
+  c_ops : int Atomic.t;
+  c_attempts : int Atomic.t;
+  c_trycs : int Atomic.t;
+  c_commits : int Atomic.t;
+  c_crashed : bool Atomic.t;
+}
+
+let cell () =
+  {
+    c_ops = Atomic.make 0;
+    c_attempts = Atomic.make 0;
+    c_trycs = Atomic.make 0;
+    c_commits = Atomic.make 0;
+    c_crashed = Atomic.make false;
+  }
+
+let sample_of c =
+  let attempts = Atomic.get c.c_attempts in
+  let commits = Atomic.get c.c_commits in
+  {
+    ops = Atomic.get c.c_ops;
+    trycs = Atomic.get c.c_trycs;
+    commits;
+    aborts = max 0 (attempts - commits);
+  }
+
+type report = {
+  rep_domain : int;
+  rep_fault : Plan.fault;
+  rep_expected : Pc.cls;
+  rep_observed : Pc.cls;
+  rep_first : sample;
+  rep_last : sample;
+  rep_crashed : bool;
+}
+
+let report_ok r = Pc.equal_cls r.rep_observed r.rep_expected
+
+type outcome = {
+  o_plan : Plan.t;
+  o_reports : report list;
+  o_ok : bool;
+  o_events : Tev.t list;
+}
+
+(* The handler runs on every worker domain; its per-domain identity (which
+   fault, which counter cell) travels in DLS, set by the worker before its
+   first transaction.  Domains without a registered identity (the
+   watchdog, unrelated code in the same process) see only [Proceed]. *)
+type dstate = { ds_fault : Plan.fault; ds_cell : cell }
+
+let dls : dstate option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let handler point =
+  match !(Domain.DLS.get dls) with
+  | None -> Stm.Chaos.Proceed
+  | Some st -> (
+      (* The domain's operation clock: one tick per interception-point
+         firing, the coordinate system of every planned fault instant. *)
+      let n = Atomic.fetch_and_add st.ds_cell.c_ops 1 in
+      match st.ds_fault with
+      | Plan.Healthy | Plan.Parasitic _ -> Stm.Chaos.Proceed
+      | Plan.Crash { at_op; holding_locks } ->
+          let trigger =
+            if holding_locks then point = Stm.Chaos.Pre_commit
+            else point = Stm.Chaos.Read
+          in
+          if trigger && n >= at_op then Stm.Chaos.Crash else Stm.Chaos.Proceed
+      | Plan.Stall { period; spins } ->
+          if n mod period = 0 then Stm.Chaos.Stall spins else Stm.Chaos.Proceed
+      | Plan.Abort_storm { from_op; until_op } ->
+          if point = Stm.Chaos.Read && n >= from_op && n < until_op then
+            Stm.Chaos.Abort
+          else Stm.Chaos.Proceed)
+
+exception Stop_worker
+
+(* Worker transactions all write t-variable 0 (plus one other), so every
+   pair of domains conflicts: a crashed lock holder necessarily strands
+   the whole peer set.  A parasitic turn instead reads only [mine], a
+   t-variable nobody writes — active forever, never conflicting, never
+   reaching tryC. *)
+let worker ~stop ~shared ~mine ~fault ~cell d () =
+  let slot = Domain.DLS.get dls in
+  slot := Some { ds_fault = fault; ds_cell = cell };
+  let st = ref (d + 1) in
+  let n = Array.length shared in
+  let parasitic_from =
+    match fault with Plan.Parasitic { from_op } -> Some from_op | _ -> None
+  in
+  (try
+     while not (Atomic.get stop) do
+       match parasitic_from with
+       | Some from when Atomic.get cell.c_ops >= from ->
+           Stm.atomically (fun () ->
+               Atomic.incr cell.c_attempts;
+               while true do
+                 ignore (Stm.read mine);
+                 if Atomic.get stop then raise Stop_worker;
+                 Domain.cpu_relax ()
+               done)
+       | _ ->
+           let r = !st * 48271 mod 0x7FFFFFFF in
+           st := r;
+           let other = 1 + (r mod (n - 1)) in
+           Stm.atomically (fun () ->
+               (* Re-run on every attempt: a permanently starving domain
+                  still gets to observe the stop flag. *)
+               if Atomic.get stop then raise Stop_worker;
+               Atomic.incr cell.c_attempts;
+               let v0 = Stm.read shared.(0) in
+               let vo = Stm.read shared.(other) in
+               Stm.write shared.(0) (v0 + 1);
+               Stm.write shared.(other) (vo + 1);
+               Atomic.incr cell.c_trycs);
+           Atomic.incr cell.c_commits
+     done
+   with
+  | Stop_worker -> ()
+  | Stm.Chaos.Crashed -> Atomic.set cell.c_crashed true);
+  slot := None
+
+let counters_of (s : sample) =
+  Emp.counters ~ops:s.ops ~trycs:s.trycs ~commits:s.commits ~aborts:s.aborts
+
+let run ?(tvars = 4) ?(warmup = 0.05) ?(window = 0.15) (plan : Plan.t) =
+  let nd = plan.Plan.domains in
+  let shared = Array.init (max 2 tvars) (fun _ -> Stm.tvar 0) in
+  let priv = Array.init nd (fun _ -> Stm.tvar 0) in
+  let stop = Atomic.make false in
+  let cells = Array.init nd (fun _ -> cell ()) in
+  Stm.Chaos.install handler;
+  Fun.protect
+    ~finally:(fun () -> Stm.Chaos.uninstall ())
+    (fun () ->
+      let ds =
+        List.init nd (fun d ->
+            Domain.spawn
+              (worker ~stop ~shared ~mine:priv.(d)
+                 ~fault:plan.Plan.faults.(d) ~cell:cells.(d) d))
+      in
+      Unix.sleepf warmup;
+      let first = Array.map sample_of cells in
+      Unix.sleepf window;
+      let last = Array.map sample_of cells in
+      Atomic.set stop true;
+      List.iter Domain.join ds;
+      let reports =
+        List.init nd (fun d ->
+            {
+              rep_domain = d;
+              rep_fault = plan.Plan.faults.(d);
+              rep_expected = plan.Plan.expected.(d);
+              rep_observed =
+                Emp.classify_counters ~first:(counters_of first.(d))
+                  ~last:(counters_of last.(d));
+              rep_first = first.(d);
+              rep_last = last.(d);
+              rep_crashed = Atomic.get cells.(d).c_crashed;
+            })
+      in
+      let h = Plan.horizon plan in
+      let verdicts =
+        List.map
+          (fun r ->
+            Tev.instant ~ts:h ~tid:r.rep_domain Tev.Monitor "chaos-verdict"
+              [
+                ("class", Tev.Str (Pc.cls_label r.rep_observed));
+                ("expected", Tev.Str (Pc.cls_label r.rep_expected));
+              ])
+          reports
+      in
+      {
+        o_plan = plan;
+        o_reports = reports;
+        o_ok = List.for_all report_ok reports;
+        o_events = Plan.trace_events plan @ verdicts;
+      })
+
+let delta r f = f r.rep_last - f r.rep_first
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "domain %d: %-22s expect %-11s observed %-11s %-8s d_ops %d, d_tryC %d, \
+     d_commits %d, d_aborts %d%s"
+    r.rep_domain
+    (Plan.fault_label r.rep_fault)
+    (Pc.cls_label r.rep_expected)
+    (Pc.cls_label r.rep_observed)
+    (if report_ok r then "ok" else "MISMATCH")
+    (delta r (fun s -> s.ops))
+    (delta r (fun s -> s.trycs))
+    (delta r (fun s -> s.commits))
+    (delta r (fun s -> s.aborts))
+    (if r.rep_crashed then " [crashed]" else "")
+
+let pp_table ppf o =
+  Fmt.pf ppf "@[<v>chaos %s seed=%d domains=%d@," o.o_plan.Plan.scenario
+    o.o_plan.Plan.seed o.o_plan.Plan.domains;
+  List.iter (fun r -> Fmt.pf ppf "%a@," pp_report r) o.o_reports;
+  Fmt.pf ppf "verdict: %s@]"
+    (if o.o_ok then "ok (observed classes match the scenario)"
+     else "MISMATCH (observed classes contradict the scenario)")
+
+let to_json o =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Fmt.str "{\"scenario\":%S,\"seed\":%d,\"domains\":%d,\"ok\":%b,\"verdicts\":["
+       o.o_plan.Plan.scenario o.o_plan.Plan.seed o.o_plan.Plan.domains o.o_ok);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Fmt.str
+           "{\"domain\":%d,\"fault\":%S,\"expected\":%S,\"observed\":%S,\"ok\":%b,\"crashed\":%b,\"window_ops\":%d,\"window_trycs\":%d,\"window_commits\":%d,\"window_aborts\":%d}"
+           r.rep_domain
+           (Plan.fault_label r.rep_fault)
+           (Pc.cls_label r.rep_expected)
+           (Pc.cls_label r.rep_observed)
+           (report_ok r) r.rep_crashed
+           (delta r (fun s -> s.ops))
+           (delta r (fun s -> s.trycs))
+           (delta r (fun s -> s.commits))
+           (delta r (fun s -> s.aborts))))
+    o.o_reports;
+  Buffer.add_string b "]}";
+  Buffer.contents b

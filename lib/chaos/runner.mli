@@ -1,0 +1,70 @@
+(** Execute a fault plan on real domains and classify what happened.
+
+    [run] spawns one worker domain per plan slot on a shared hot set of
+    t-variables (every transaction writes t-variable 0, so a crashed
+    domain holding commit vlocks conflicts with every peer), installs the
+    plan as an [Stm.Chaos] handler, and lets a watchdog on the spawning
+    domain take two samples of each worker's monotone counters.  The
+    deltas go through {!Tm_liveness.Empirical.classify_counters},
+    yielding one Figure-2 verdict per domain, which is compared against
+    the plan's expectation.
+
+    The run's trace ({!outcome.events}) is the {e planned} fault
+    schedule ({!Plan.trace_events}) followed by one verdict instant per
+    domain — not the raw interleaving, which a real multicore run cannot
+    make deterministic.  For a fixed (scenario, seed, domains) the fault
+    schedule is byte-identical by construction and the verdicts are the
+    empirically stable classification the scenario gates on, so equal
+    runs export equal traces. *)
+
+type sample = { ops : int; trycs : int; commits : int; aborts : int }
+(** A watchdog snapshot of one domain's monotone counters.  [ops] counts
+    interception-point firings, [trycs] transaction bodies that reached
+    [tryC], [aborts] is attempts minus commits. *)
+
+type report = {
+  rep_domain : int;
+  rep_fault : Plan.fault;
+  rep_expected : Tm_liveness.Process_class.cls;
+  rep_observed : Tm_liveness.Process_class.cls;
+  rep_first : sample;  (** window-start snapshot *)
+  rep_last : sample;  (** window-end snapshot *)
+  rep_crashed : bool;  (** the worker died on [Stm.Chaos.Crashed] *)
+}
+
+val report_ok : report -> bool
+(** Observed class equals the expected one. *)
+
+type outcome = {
+  o_plan : Plan.t;
+  o_reports : report list;  (** one per domain, ascending *)
+  o_ok : bool;  (** every report is ok *)
+  o_events : Tm_trace.Trace_event.t list;
+      (** planned fault instants, then verdict instants ([Monitor] /
+          ["chaos-verdict"], [ts] = {!Plan.horizon}, [tid] = domain) *)
+}
+
+val run : ?tvars:int -> ?warmup:float -> ?window:float -> Plan.t -> outcome
+(** [run plan] executes the plan and classifies every domain.  [tvars]
+    sizes the shared hot set (default 4), [warmup] is the settle time in
+    seconds before the first sample (default 0.05 — fault onsets are a
+    few hundred operations in, i.e. microseconds, so the window observes
+    the steady faulty state), [window] the observation time between
+    samples (default 0.15).  The [Stm.Chaos] handler is uninstalled
+    before returning, even on exceptions.
+
+    Note: after a crash-holding-locks run the hot t-variables stay
+    locked forever by the dead domain — they are private to the run and
+    simply dropped. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** One line: domain, fault, expected/observed classes, counter deltas. *)
+
+val pp_table : Format.formatter -> outcome -> unit
+
+val to_json : outcome -> string
+(** The verdict document:
+    [{"scenario":...,"seed":...,"domains":...,"ok":...,"verdicts":[...]}]
+    with stable key order.  Counter fields are informational (real
+    multicore counts vary run to run); the classification fields are the
+    stable, gateable part. *)

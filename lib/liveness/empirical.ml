@@ -75,6 +75,26 @@ let classify_window ~window h =
       })
     (History.procs h)
 
+(* Counter-sample classification: the watchdog's view of a real domain.
+   Two samples of monotone per-domain counters bracket an observation
+   window; the deltas replay the window heuristics of [classify_window]
+   on counters instead of history events. *)
+type counters = { c_ops : int; c_trycs : int; c_commits : int; c_aborts : int }
+
+let counters ~ops ~trycs ~commits ~aborts =
+  { c_ops = ops; c_trycs = trycs; c_commits = commits; c_aborts = aborts }
+
+let classify_counters ~first ~last =
+  let d f = f last - f first in
+  let ops = d (fun c -> c.c_ops)
+  and trycs = d (fun c -> c.c_trycs)
+  and commits = d (fun c -> c.c_commits)
+  and aborts = d (fun c -> c.c_aborts) in
+  if ops <= 0 then Process_class.Crashed
+  else if trycs = 0 && aborts = 0 then Process_class.Parasitic
+  else if commits = 0 then Process_class.Starving
+  else Process_class.Progressing
+
 let pp_window_summary ppf s =
   Fmt.pf ppf
     "p%d: %d events (%d in window), C=%d A=%d tryC=%d%s%s%s%s" s.proc

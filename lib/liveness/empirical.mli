@@ -44,3 +44,27 @@ val classify_window : window:int -> History.t -> window_summary list
     events of the history. *)
 
 val pp_window_summary : Format.formatter -> window_summary -> unit
+
+(** {2 Counter samples}
+
+    The multicore chaos watchdog cannot see a history — it samples
+    monotone per-domain counters.  Two samples bracket an observation
+    window and the deltas give the same empirical reading as
+    {!classify_window}, expressed in the Figure-2 taxonomy. *)
+
+type counters = {
+  c_ops : int;  (** operations executed (any interception-point firing) *)
+  c_trycs : int;  (** commit attempts that reached [tryC] *)
+  c_commits : int;
+  c_aborts : int;
+}
+
+val counters : ops:int -> trycs:int -> commits:int -> aborts:int -> counters
+
+val classify_counters :
+  first:counters -> last:counters -> Process_class.cls
+(** Window verdict from two samples of monotone counters: no operations
+    at all looks {e crashed}; operations but neither [tryC]s nor aborts
+    looks {e parasitic} (an endless transaction body that never tries to
+    commit); activity without a commit looks {e starving}; otherwise the
+    process is {e progressing}. *)

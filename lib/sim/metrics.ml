@@ -71,6 +71,8 @@ type t = {
   aborts : int;
   invocations : int;
   defers : int;
+  faults : int;
+  starvations : int;
   steps : int;
   events : int;
   throughput : float;
@@ -79,6 +81,25 @@ type t = {
   commit_latency : histogram;
   abort_latency : histogram;
 }
+
+(* Empirical fault/starvation reading of a finished run: a process that
+   looks crashed or parasitic over the last quarter of the history is a
+   fault; an active process with no commit in that window (and no
+   injected fault) is starving.  Same bounded-window heuristics as the
+   chaos watchdog, applied post hoc to the deterministic history. *)
+let fault_counters h =
+  let n = History.length h in
+  if n = 0 then (0, 0)
+  else
+    List.fold_left
+      (fun (faults, starved)
+           (s : Tm_liveness.Empirical.window_summary) ->
+        if s.looks_crashed || s.looks_parasitic then (faults + 1, starved)
+        else if s.events_in_window > 0 && s.commits_in_window = 0 then
+          (faults, starved + 1)
+        else (faults, starved))
+      (0, 0)
+      (Tm_liveness.Empirical.classify_window ~window:(max 1 (n / 4)) h)
 
 (* Walk the history once, tracking per process the index of its current
    transaction's first invocation, its pending invocation (the abort
@@ -130,11 +151,14 @@ let of_outcome (o : Runner.outcome) =
   let abort_causes, retry_depth, commit_latency, abort_latency =
     of_history o.Runner.history
   in
+  let faults, starvations = fault_counters o.Runner.history in
   {
     commits = Runner.commit_total o;
     aborts = Runner.abort_total o;
     invocations = Runner.total o.Runner.invocations;
     defers = Runner.total o.Runner.defers;
+    faults;
+    starvations;
     steps = o.Runner.steps_taken;
     events = History.length o.Runner.history;
     throughput = Runner.throughput o;
@@ -152,6 +176,8 @@ let merge a b =
     aborts = a.aborts + b.aborts;
     invocations = a.invocations + b.invocations;
     defers = a.defers + b.defers;
+    faults = a.faults + b.faults;
+    starvations = a.starvations + b.starvations;
     steps;
     events = a.events + b.events;
     throughput =
@@ -184,8 +210,9 @@ let json_hist buf h =
 let to_json buf m =
   Buffer.add_string buf
     (Fmt.str
-       "{\"commits\":%d,\"aborts\":%d,\"invocations\":%d,\"defers\":%d,\"steps\":%d,\"events\":%d,\"throughput\":%.6f,"
-       m.commits m.aborts m.invocations m.defers m.steps m.events m.throughput);
+       "{\"commits\":%d,\"aborts\":%d,\"invocations\":%d,\"defers\":%d,\"faults\":%d,\"starvations\":%d,\"steps\":%d,\"events\":%d,\"throughput\":%.6f,"
+       m.commits m.aborts m.invocations m.defers m.faults m.starvations
+       m.steps m.events m.throughput);
   Buffer.add_string buf
     (Fmt.str
        "\"abort_causes\":{\"read\":%d,\"write\":%d,\"commit\":%d},"
@@ -200,11 +227,12 @@ let to_json buf m =
 
 let pp ppf m =
   Fmt.pf ppf
-    "@[<v>commits %d, aborts %d (read %d / write %d / commit %d), defers %d@,\
+    "@[<v>commits %d, aborts %d (read %d / write %d / commit %d), defers %d, \
+     faults %d, starvations %d@,\
      throughput %.4f commits/step, commit latency mean %.1f ev (max %d), \
      retry depth mean %.2f (max %d)@]"
     m.commits m.aborts m.abort_causes.on_read m.abort_causes.on_write
-    m.abort_causes.on_commit m.defers m.throughput
+    m.abort_causes.on_commit m.defers m.faults m.starvations m.throughput
     (hist_mean m.commit_latency)
     m.commit_latency.max_sample (hist_mean m.retry_depth)
     m.retry_depth.max_sample

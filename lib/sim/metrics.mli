@@ -53,6 +53,12 @@ type t = {
   aborts : int;
   invocations : int;
   defers : int;
+  faults : int;
+      (** processes that look crashed or parasitic over the last quarter
+          of the history (the {!Tm_liveness.Empirical} window reading) *)
+  starvations : int;
+      (** processes active in that window with no commit in it and no
+          injected-looking fault — the empirically starving ones *)
   steps : int;
   events : int;  (** history length *)
   throughput : float;  (** commits per simulation step *)

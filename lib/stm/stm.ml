@@ -138,6 +138,60 @@ let tvar (type a) (init : a) : a tvar =
 exception Retry
 exception Conflict
 
+(* Deterministic fault injection.  Same zero-cost discipline as [Trace]:
+   every interception point costs one [Atomic.get] on [armed] when no
+   plan is installed, and only consults the handler when armed.  The
+   handler decides per point: proceed, abort the attempt (a normal
+   conflict, counted and retried), stall (bounded spinning), or crash.
+   [Crashed] escapes [atomically] through its generic exception arm
+   without releasing any commit vlocks the domain holds — a crash at
+   [Pre_commit] is therefore the paper's crashed-lock-holder adversary,
+   observable on real domains. *)
+module Chaos = struct
+  type point = Read | Validate | Lock_acquire | Pre_commit | Post_commit
+  type action = Proceed | Abort | Stall of int | Crash
+
+  exception Crashed
+
+  let null_handler : point -> action = fun _ -> Proceed
+  let armed = Atomic.make false
+  let handler = Atomic.make null_handler
+
+  let install f =
+    Atomic.set handler f;
+    Atomic.set armed true
+
+  let uninstall () =
+    Atomic.set armed false;
+    Atomic.set handler null_handler
+
+  let is_armed () = Atomic.get armed
+
+  let point_label = function
+    | Read -> "read"
+    | Validate -> "validate"
+    | Lock_acquire -> "lock-acquire"
+    | Pre_commit -> "pre-commit"
+    | Post_commit -> "post-commit"
+
+  let stall n =
+    for _ = 1 to n do
+      Domain.cpu_relax ()
+    done
+
+  let decide p = if Atomic.get armed then (Atomic.get handler) p else Proceed
+
+  (* Interpretation for points where the domain holds no commit locks;
+     [commit] interprets actions itself so an [Abort] can back out the
+     vlocks it already holds (and a [Crash] deliberately does not). *)
+  let fire p =
+    match decide p with
+    | Proceed -> ()
+    | Stall n -> stall n
+    | Abort -> raise Conflict
+    | Crash -> raise Crashed
+end
+
 (* Write-set entry: the pending value plus closures for the commit
    protocol (lock, validate-ownership, publish, unlock). *)
 type wentry = {
@@ -223,6 +277,7 @@ let read (type a) (tv : a tvar) : a =
       | Some w -> (
           match tv.proj w.value with Some x -> x | None -> assert false)
       | None ->
+          if Atomic.get Chaos.armed then Chaos.fire Chaos.Read;
           let v1 = read_vlock tv in
           if locked v1 || version_of v1 > txn.rv then raise Conflict;
           let x = Atomic.get tv.content in
@@ -251,35 +306,58 @@ let commit txn =
       let ws =
         List.sort_uniq (fun a b -> Int.compare a.w_id b.w_id) writes
       in
+      (* Locks held so far, newest first.  Commit-scoped so both the
+         normal conflict back-outs and a chaos [Abort] at any point can
+         release exactly what is held. *)
+      let acquired = ref [] in
+      let release_all order =
+        List.iter
+          (fun (w : wentry) ->
+            (* Emit release before the real unlock: once the vlock is
+               even another domain can acquire it, and its acquire
+               event must sequence after ours. *)
+            if tr then
+              Trace.emit Tev.Lock "release" Tev.Instant
+                [ ("tvar", Tev.Int w.w_id) ];
+            w.unlock ())
+          (order !acquired)
+      in
+      (* Chaos interception inside commit: [Abort] backs out held locks
+         like any conflict; [Crash] deliberately does not — a crashed
+         lock holder is the experiment. *)
+      let chaos p =
+        if Atomic.get Chaos.armed then
+          match Chaos.decide p with
+          | Chaos.Proceed -> ()
+          | Chaos.Stall n -> Chaos.stall n
+          | Chaos.Abort ->
+              release_all Fun.id;
+              raise Conflict
+          | Chaos.Crash -> raise Chaos.Crashed
+      in
       (* Lock in canonical order; back out on failure. *)
-      let rec lock_all k acquired = function
-        | [] -> List.rev acquired
+      let rec lock_all k = function
+        | [] -> ()
         | w :: rest ->
+            chaos Chaos.Lock_acquire;
             if w.try_lock () then begin
               if tr then
                 Trace.emit Tev.Lock "acquire" Tev.Instant
                   [ ("tvar", Tev.Int w.w_id); ("order", Tev.Int k) ];
-              lock_all (k + 1) (w :: acquired) rest
+              acquired := w :: !acquired;
+              lock_all (k + 1) rest
             end
             else begin
               if tr then
                 Trace.emit Tev.Lock "busy" Tev.Instant
                   [ ("tvar", Tev.Int w.w_id) ];
-              (* Emit release before the real unlock: once the vlock is
-                 even another domain can acquire it, and its acquire
-                 event must sequence after ours. *)
-              List.iter
-                (fun a ->
-                  if tr then
-                    Trace.emit Tev.Lock "release" Tev.Instant
-                      [ ("tvar", Tev.Int a.w_id) ];
-                  a.unlock ())
-                acquired;
+              release_all Fun.id;
               raise Conflict
             end
       in
-      let acquired = lock_all 0 [] ws in
+      lock_all 0 ws;
       let wv = Atomic.fetch_and_add clock 1 + 1 in
+      chaos Chaos.Validate;
       let owned id = List.exists (fun w -> w.w_id = id) ws in
       let rec first_invalid = function
         | [] -> None
@@ -292,15 +370,10 @@ let commit txn =
           if tr then
             Trace.emit Tev.Validation "read-invalid" Tev.Instant
               [ ("tvar", Tev.Int bad) ];
-          List.iter
-            (fun w ->
-              if tr then
-                Trace.emit Tev.Lock "release" Tev.Instant
-                  [ ("tvar", Tev.Int w.w_id) ];
-              w.unlock ())
-            acquired;
+          release_all List.rev;
           raise Conflict
       | None -> ());
+      chaos Chaos.Pre_commit;
       (* Publishing a t-variable also releases its lock (the vlock is set
          to the new even version), hence the paired release event.  Both
          events are emitted while the lock is still really held so that a
@@ -314,7 +387,8 @@ let commit txn =
               [ ("tvar", Tev.Int w.w_id) ]
           end;
           w.publish w.value wv)
-        acquired
+        (List.rev !acquired);
+      chaos Chaos.Post_commit
 
 let backoff attempts prng_state =
   let bound = 1 lsl min attempts 10 in

@@ -87,3 +87,52 @@ module Trace : sig
   (** Events emitted since the last [start]/[start_null], including
       dropped and null-sunk ones. *)
 end
+
+(** Deterministic fault-injection interception points.
+
+    Disarmed by default; every interception point then costs a single
+    atomic flag read — the same zero-cost discipline as {!Trace}.  An
+    installed handler is consulted at five points of the TL2 hot path
+    ({!point}) and answers with an {!action}:
+
+    - [Proceed] — no fault;
+    - [Abort] — abort the current attempt as an ordinary conflict (it is
+      counted, backed off and retried, and any commit vlocks already
+      held are released first);
+    - [Stall n] — spin for [n] {!Domain.cpu_relax} iterations, modelling
+      a slow or descheduled process;
+    - [Crash] — raise {!Crashed} out of {!atomically} {e without
+      releasing} any commit vlocks the domain holds.  A [Crash] at
+      [Pre_commit] therefore leaves the whole write set locked forever:
+      the paper's crashed-lock-holder adversary, under which conflicting
+      peers starve (see the solo-progress caveat above).
+
+    Handlers run on the faulting domain and must be domain-safe.  This
+    is the mechanism only; seeded fault plans, scenarios and empirical
+    verdicts live in the [Tm_chaos] library. *)
+module Chaos : sig
+  type point =
+    | Read  (** before each transactional read *)
+    | Validate  (** at commit, before read-set validation (locks held) *)
+    | Lock_acquire  (** before each commit vlock acquisition *)
+    | Pre_commit  (** after validation, before publishing (locks held) *)
+    | Post_commit  (** after the last publish (locks released) *)
+
+  type action = Proceed | Abort | Stall of int | Crash
+
+  exception Crashed
+  (** Escapes {!atomically} on a [Crash] action; held vlocks stay held. *)
+
+  val install : (point -> action) -> unit
+  (** Install a handler and arm every interception point.  Replaces any
+      previously installed handler. *)
+
+  val uninstall : unit -> unit
+  (** Disarm: back to the null handler and the one-flag-read fast path. *)
+
+  val is_armed : unit -> bool
+
+  val point_label : point -> string
+  (** ["read"], ["validate"], ["lock-acquire"], ["pre-commit"],
+      ["post-commit"]. *)
+end

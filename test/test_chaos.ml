@@ -1,0 +1,305 @@
+(* Tests for the chaos subsystem: plan derivation, counter
+   classification, the chaos-class lint rule, and the determinism
+   contract (same seed + scenario => byte-identical fault schedule and
+   trace), both as unit cases and as a qcheck property. *)
+
+module Plan = Tm_chaos.Plan
+module Runner = Tm_chaos.Runner
+module Emp = Tm_liveness.Empirical
+module Pc = Tm_liveness.Process_class
+module Tev = Tm_trace.Trace_event
+
+(* ------------------------------------------------------------------ *)
+(* Plans. *)
+
+let test_plan_scenarios_documented () =
+  Alcotest.(check bool) "at least the gated scenarios exist" true
+    (List.mem "crash-holding-locks" Plan.scenarios
+    && List.mem "parasitic-only" Plan.scenarios);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Fmt.str "%s has a doc line" s)
+        true
+        (Plan.scenario_doc s <> None))
+    Plan.scenarios;
+  Alcotest.(check (option string)) "unknown scenario has no doc" None
+    (Plan.scenario_doc "no-such-scenario")
+
+let test_plan_shapes () =
+  List.iter
+    (fun scenario ->
+      match Plan.make ~scenario ~seed:11 ~domains:4 with
+      | Error m -> Alcotest.failf "%s: %s" scenario m
+      | Ok p ->
+          Alcotest.(check int)
+            (scenario ^ " fault per domain")
+            4
+            (Array.length p.Plan.faults);
+          Alcotest.(check int)
+            (scenario ^ " expectation per domain")
+            4
+            (Array.length p.Plan.expected);
+          Alcotest.(check bool)
+            (scenario ^ " horizon past every fault")
+            true
+            (Plan.horizon p >= 1))
+    Plan.scenarios
+
+let test_plan_expectations () =
+  let expect scenario cls0 cls_rest =
+    match Plan.make ~scenario ~seed:3 ~domains:3 with
+    | Error m -> Alcotest.failf "%s: %s" scenario m
+    | Ok p ->
+        Alcotest.(check string)
+          (scenario ^ " domain 0")
+          (Pc.cls_label cls0)
+          (Pc.cls_label p.Plan.expected.(0));
+        Alcotest.(check string)
+          (scenario ^ " domain 2")
+          (Pc.cls_label cls_rest)
+          (Pc.cls_label p.Plan.expected.(2))
+  in
+  expect "healthy" Pc.Progressing Pc.Progressing;
+  expect "crash-holding-locks" Pc.Crashed Pc.Starving;
+  expect "crash-clean" Pc.Crashed Pc.Progressing;
+  expect "parasitic-only" Pc.Parasitic Pc.Progressing;
+  expect "mixed" Pc.Crashed Pc.Progressing
+
+let test_plan_errors () =
+  let is_error = function Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "unknown scenario" true
+    (is_error (Plan.make ~scenario:"nope" ~seed:0 ~domains:4));
+  Alcotest.(check bool) "one domain is not a run" true
+    (is_error (Plan.make ~scenario:"healthy" ~seed:0 ~domains:1));
+  Alcotest.(check bool) "mixed needs three domains" true
+    (is_error (Plan.make ~scenario:"mixed" ~seed:0 ~domains:2))
+
+let test_plan_trace_events_deterministic () =
+  let events scenario =
+    match Plan.make ~scenario ~seed:42 ~domains:4 with
+    | Error m -> Alcotest.failf "%s: %s" scenario m
+    | Ok p -> Tm_trace.Export.chrome_string (Plan.trace_events p)
+  in
+  List.iter
+    (fun scenario ->
+      Alcotest.(check string)
+        (scenario ^ " schedule is a pure function of the inputs")
+        (events scenario) (events scenario))
+    Plan.scenarios;
+  (* Different seeds move the fault instants. *)
+  let sched seed =
+    match Plan.make ~scenario:"crash-holding-locks" ~seed ~domains:4 with
+    | Error m -> Alcotest.fail m
+    | Ok p -> Plan.render_schedule p
+  in
+  Alcotest.(check bool) "seeds differentiate the schedule" true
+    (sched 1 <> sched 2)
+
+(* ------------------------------------------------------------------ *)
+(* Counter classification. *)
+
+let test_classify_counters () =
+  let c = Emp.counters in
+  let check name first last cls =
+    Alcotest.(check string) name (Pc.cls_label cls)
+      (Pc.cls_label (Emp.classify_counters ~first ~last))
+  in
+  let z = c ~ops:0 ~trycs:0 ~commits:0 ~aborts:0 in
+  check "no ops at all -> crashed" z z Pc.Crashed;
+  check "ops without tryC or aborts -> parasitic" z
+    (c ~ops:500 ~trycs:0 ~commits:0 ~aborts:0)
+    Pc.Parasitic;
+  check "aborting forever without committing -> starving" z
+    (c ~ops:500 ~trycs:0 ~commits:0 ~aborts:90)
+    Pc.Starving;
+  check "committing -> progressing" z
+    (c ~ops:500 ~trycs:60 ~commits:55 ~aborts:5)
+    Pc.Progressing;
+  (* Deltas, not absolutes: a once-active domain that went silent. *)
+  let mid = c ~ops:1000 ~trycs:100 ~commits:100 ~aborts:0 in
+  check "no progress since the first sample -> crashed" mid mid Pc.Crashed
+
+(* ------------------------------------------------------------------ *)
+(* The chaos-class lint rule. *)
+
+let fault_instant ~tid ~ts name args =
+  Tev.instant ~ts ~tid Tev.Fault name args
+
+let verdict_instant ~tid ~ts cls =
+  Tev.instant ~ts ~tid Tev.Monitor "chaos-verdict"
+    [ ("class", Tev.Str cls); ("expected", Tev.Str cls) ]
+
+let run_chaos_rule events =
+  List.filter
+    (fun (f : Tm_analysis.Finding.t) -> f.Tm_analysis.Finding.rule = "chaos-class")
+    (Tm_analysis.Engine.run_trace ~subject:"test" events)
+
+let test_chaos_rule_clean () =
+  let events =
+    [
+      fault_instant ~tid:0 ~ts:90 "chaos-crash"
+        [ ("op", Tev.Int 90); ("holding_locks", Tev.Str "true") ];
+      fault_instant ~tid:1 ~ts:40 "chaos-parasitic" [ ("op", Tev.Int 40) ];
+      verdict_instant ~tid:0 ~ts:100 "crashed";
+      verdict_instant ~tid:1 ~ts:100 "parasitic";
+      verdict_instant ~tid:2 ~ts:100 "starving";
+    ]
+  in
+  Alcotest.(check int) "agreeing trace is clean" 0
+    (List.length (run_chaos_rule events))
+
+let test_chaos_rule_mismatch () =
+  let events =
+    [
+      fault_instant ~tid:0 ~ts:90 "chaos-crash" [ ("op", Tev.Int 90) ];
+      verdict_instant ~tid:0 ~ts:100 "progressing";
+    ]
+  in
+  Alcotest.(check int) "crash classified progressing is an error" 1
+    (List.length (run_chaos_rule events))
+
+let test_chaos_rule_unbacked_verdict () =
+  let events = [ verdict_instant ~tid:3 ~ts:100 "crashed" ] in
+  Alcotest.(check int) "crashed verdict without an injected fault" 1
+    (List.length (run_chaos_rule events))
+
+let test_chaos_rule_ignores_faultless_traces () =
+  (* Traces without verdict events (simulator traces, stm demo traces)
+     are exempt from the rule. *)
+  let events =
+    [ fault_instant ~tid:0 ~ts:10 "crash" [] ]
+  in
+  Alcotest.(check int) "no verdicts, no findings" 0
+    (List.length (run_chaos_rule events))
+
+(* ------------------------------------------------------------------ *)
+(* Real runs: determinism and verdicts.  Short windows keep the suite
+   fast; the classification already settles within a few milliseconds. *)
+
+let run_scenario scenario seed =
+  match Plan.make ~scenario ~seed ~domains:3 with
+  | Error m -> Alcotest.fail m
+  | Ok p -> Runner.run ~tvars:2 ~warmup:0.02 ~window:0.05 p
+
+let test_run_crash_holding_locks () =
+  let o = run_scenario "crash-holding-locks" 7 in
+  Alcotest.(check bool) "verdicts match the expectation" true o.Runner.o_ok;
+  let r0 = List.nth o.Runner.o_reports 0 in
+  Alcotest.(check bool) "domain 0 died on Chaos.Crashed" true
+    r0.Runner.rep_crashed;
+  List.iteri
+    (fun d (r : Runner.report) ->
+      if d > 0 then
+        Alcotest.(check string)
+          (Fmt.str "domain %d starves behind the held vlocks" d)
+          (Pc.cls_label Pc.Starving)
+          (Pc.cls_label r.Runner.rep_observed))
+    o.Runner.o_reports
+
+let test_run_parasitic_only () =
+  let o = run_scenario "parasitic-only" 5 in
+  Alcotest.(check bool) "verdicts match the expectation" true o.Runner.o_ok;
+  List.iteri
+    (fun d (r : Runner.report) ->
+      let want = if d = 0 then Pc.Parasitic else Pc.Progressing in
+      Alcotest.(check string)
+        (Fmt.str "domain %d" d)
+        (Pc.cls_label want)
+        (Pc.cls_label r.Runner.rep_observed))
+    o.Runner.o_reports
+
+let test_run_trace_byte_identical () =
+  let bytes () =
+    Tm_trace.Export.chrome_string (run_scenario "crash-holding-locks" 9).Runner.o_events
+  in
+  Alcotest.(check string) "equal runs export equal traces" (bytes ())
+    (bytes ())
+
+let test_run_trace_lints_clean () =
+  let o = run_scenario "parasitic-only" 13 in
+  Alcotest.(check int) "chaos trace passes the analyzer" 0
+    (List.length (Tm_analysis.Engine.run_trace ~subject:"chaos" o.Runner.o_events))
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: the determinism contract over the whole input space.  The
+   property recomputes a plan from the same (scenario, seed, domains)
+   triple and demands a byte-identical rendered schedule and Chrome
+   export — the schedule is what both the trace file and the fault
+   handler are driven by, so this is the same-seed-same-faults law the
+   chaos CLI advertises for every --jobs value. *)
+
+let arb_plan_inputs =
+  QCheck.make
+    ~print:(fun (s, seed, d) -> Fmt.str "(%s, seed=%d, domains=%d)" s seed d)
+    QCheck.Gen.(
+      let* s = oneofl (List.filter (fun s -> s <> "mixed") Plan.scenarios) in
+      let* seed = 0 -- 10_000 in
+      let* d = 2 -- 8 in
+      return (s, seed, d))
+
+let prop_plan_deterministic =
+  QCheck.Test.make ~count:200 ~name:"same inputs, same schedule bytes"
+    arb_plan_inputs (fun (scenario, seed, domains) ->
+      match
+        ( Plan.make ~scenario ~seed ~domains,
+          Plan.make ~scenario ~seed ~domains )
+      with
+      | Ok a, Ok b ->
+          Plan.render_schedule a = Plan.render_schedule b
+          && Tm_trace.Export.chrome_string (Plan.trace_events a)
+             = Tm_trace.Export.chrome_string (Plan.trace_events b)
+      | _ -> false)
+
+let prop_plan_roundtrips =
+  QCheck.Test.make ~count:100 ~name:"schedule survives a chrome round-trip"
+    arb_plan_inputs (fun (scenario, seed, domains) ->
+      match Plan.make ~scenario ~seed ~domains with
+      | Error _ -> false
+      | Ok p -> (
+          let s = Tm_trace.Export.chrome_string (Plan.trace_events p) in
+          match Tm_trace.Export.of_chrome_string s with
+          | Error _ -> false
+          | Ok evs -> Tm_trace.Export.chrome_string evs = s))
+
+let () =
+  Alcotest.run "tm_chaos"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "scenarios documented" `Quick
+            test_plan_scenarios_documented;
+          Alcotest.test_case "shapes" `Quick test_plan_shapes;
+          Alcotest.test_case "expected classes" `Quick test_plan_expectations;
+          Alcotest.test_case "errors" `Quick test_plan_errors;
+          Alcotest.test_case "trace events deterministic" `Quick
+            test_plan_trace_events_deterministic;
+        ] );
+      ( "classify",
+        [ Alcotest.test_case "counter deltas" `Quick test_classify_counters ]
+      );
+      ( "lint",
+        [
+          Alcotest.test_case "agreeing trace" `Quick test_chaos_rule_clean;
+          Alcotest.test_case "mismatched verdict" `Quick
+            test_chaos_rule_mismatch;
+          Alcotest.test_case "unbacked verdict" `Quick
+            test_chaos_rule_unbacked_verdict;
+          Alcotest.test_case "faultless traces exempt" `Quick
+            test_chaos_rule_ignores_faultless_traces;
+        ] );
+      ( "run",
+        [
+          Alcotest.test_case "crash-holding-locks starves peers" `Quick
+            test_run_crash_holding_locks;
+          Alcotest.test_case "parasitic-only leaves peers progressing" `Quick
+            test_run_parasitic_only;
+          Alcotest.test_case "trace byte-identical across runs" `Quick
+            test_run_trace_byte_identical;
+          Alcotest.test_case "trace passes the analyzer" `Quick
+            test_run_trace_lints_clean;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_plan_deterministic; prop_plan_roundtrips ] );
+    ]

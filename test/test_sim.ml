@@ -397,6 +397,61 @@ let test_metrics_hist_merge_laws () =
     (M.hist_merge a (M.hist_merge b c));
   eq "commutativity" (M.hist_merge a b) (M.hist_merge b a)
 
+let test_metrics_fault_counters () =
+  let module M = Tm_sim.Metrics in
+  (* 16 events, so the empirical window is the last 4: p2's complete
+     commit step and p3's aborted read.  p1 was active early but is
+     silent in the window (crashed -> fault); p3 aborts without
+     committing (starving); p2 commits (neither). *)
+  let h =
+    History.steps
+      [
+        History.read 1 0 0;
+        History.read 2 0 0;
+        History.read 3 0 0;
+        History.write 2 0 1;
+        History.write 3 0 1;
+        History.read 1 0 0;
+        History.commit 2;
+        History.read_aborted 3 0;
+      ]
+  in
+  let outcome =
+    {
+      Tm_sim.Runner.history = h;
+      commits = [| 0; 0; 1; 0 |];
+      aborts = [| 0; 0; 0; 1 |];
+      invocations = [| 0; 2; 3; 3 |];
+      defers = [| 0; 0; 0; 0 |];
+      final_defer_streak = [| 0; 0; 0; 0 |];
+      steps_taken = 20;
+    }
+  in
+  let m = M.of_outcome outcome in
+  Alcotest.(check int) "one crashed-looking process" 1 m.M.faults;
+  Alcotest.(check int) "one starving process" 1 m.M.starvations;
+  (* merge sums the counters (and is the identity on a zeroed side). *)
+  let mm = M.merge m m in
+  Alcotest.(check int) "merge sums faults" 2 mm.M.faults;
+  Alcotest.(check int) "merge sums starvations" 2 mm.M.starvations;
+  let z = { m with M.faults = 0; starvations = 0 } in
+  let mz = M.merge m z in
+  Alcotest.(check int) "zero is neutral for faults" m.M.faults mz.M.faults;
+  Alcotest.(check int) "zero is neutral for starvations" m.M.starvations
+    mz.M.starvations;
+  let buf = Buffer.create 256 in
+  M.to_json buf m;
+  let json = Buffer.contents buf in
+  let contains needle =
+    let rec go i =
+      i + String.length needle <= String.length json
+      && (String.sub json i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "json exports the fault counters" true
+    (contains "\"faults\":1,\"starvations\":1")
+
 let test_sweep_grid_canonical_order () =
   let tms = List.filter_map Reg.find [ "tl2"; "fgp" ] in
   let configs =
@@ -574,6 +629,8 @@ let () =
           Alcotest.test_case "hist_merge monoid laws" `Quick
             test_metrics_hist_merge_laws;
           Alcotest.test_case "of_outcome" `Quick test_metrics_of_outcome;
+          Alcotest.test_case "fault and starvation counters" `Quick
+            test_metrics_fault_counters;
           Alcotest.test_case "grid canonical order" `Quick
             test_sweep_grid_canonical_order;
           Alcotest.test_case "metrics JSON file-stable" `Quick
