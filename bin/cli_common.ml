@@ -59,6 +59,77 @@ let scenario_conv =
   in
   Arg.conv (parse, Fmt.string)
 
+(* ---- output-format flags ---- *)
+
+(* One table/json converter for every subcommand that renders a document
+   on stdout (chaos --format, sweep --metrics-format, analyze --format):
+   same names, same error messages, one place to extend. *)
+let table_json_conv : [ `Table | `Json ] Arg.conv =
+  Arg.enum [ ("table", `Table); ("json", `Json) ]
+
+let format_arg ?(names = [ "format" ]) ~doc () =
+  Arg.(value & opt table_json_conv `Table & info names ~docv:"FORMAT" ~doc)
+
+let telemetry_format_conv : [ `Openmetrics | `Jsonl ] Arg.conv =
+  Arg.enum [ ("openmetrics", `Openmetrics); ("jsonl", `Jsonl) ]
+
+let telemetry_arg ~doc () =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE" ~doc)
+
+let telemetry_format_arg () =
+  Arg.(
+    value
+    & opt telemetry_format_conv `Openmetrics
+    & info [ "telemetry-format" ] ~docv:"FORMAT"
+        ~doc:
+          "Telemetry encoding: $(b,openmetrics) (Prometheus text \
+           exposition of the final scrape) or $(b,jsonl) (one JSON object \
+           per scrape — the whole time series).")
+
+(* A telemetry sink for one command invocation: [add] collects scrape
+   snapshots (plug it in as a sampler consumer / [on_sample]), [flush]
+   writes them out.  OpenMetrics is a point-in-time exposition, so it
+   gets the last snapshot; JSONL gets the whole series.  [file] "-"
+   means stdout. *)
+let telemetry_writer file format =
+  let snaps = ref [] in
+  let add s = snaps := s :: !snaps in
+  let flush () =
+    match List.rev !snaps with
+    | [] -> ()
+    | l ->
+        let write oc =
+          match format with
+          | `Openmetrics ->
+              let last = List.nth l (List.length l - 1) in
+              output_string oc (Tm_telemetry.Export.to_openmetrics last)
+          | `Jsonl ->
+              List.iter
+                (fun s ->
+                  output_string oc (Tm_telemetry.Export.to_jsonl s);
+                  output_char oc '\n')
+                l
+        in
+        if file = "-" then begin
+          (* Anything the command printed via Format must land first. *)
+          Format.print_flush ();
+          write stdout;
+          flush stdout
+        end
+        else begin
+          let oc = open_out file in
+          write oc;
+          close_out oc;
+          Fmt.epr "telemetry: %d snapshot%s written to %s@." (List.length l)
+            (if List.length l = 1 then "" else "s")
+            file
+        end
+  in
+  (add, flush)
+
 (* ---- the common simulation flags (defaults vary per subcommand) ---- *)
 
 let nprocs_arg ?(default = 3) () =

@@ -1,0 +1,119 @@
+(* The `tmlive top` renderer: a chaos session observed live.
+
+   Each frame sleeps, updates the liveness gauge, scrapes the session
+   registry and redraws: one row per worker domain (commit/abort rates
+   over the last frame, injected-fault count, current Figure-2 class)
+   plus the STM phase-latency percentiles from the armed
+   [Tm_telemetry.Stm_probe].  Everything rendered comes out of the
+   scrape snapshot — the dashboard is just another telemetry consumer,
+   so [--telemetry] exports exactly what was on screen. *)
+
+module Tel = Tm_telemetry
+module Runner = Tm_chaos.Runner
+module Plan = Tm_chaos.Plan
+
+let dom d = [ ("domain", string_of_int d) ]
+
+let num snap name d =
+  Option.value ~default:0 (Tel.Registry.sample_num snap ~name ~labels:(dom d))
+
+let aborts_of snap d =
+  max 0 (num snap "tm_chaos_attempts_total" d - num snap "tm_chaos_commits_total" d)
+
+(* Latencies are nanoseconds; pick the unit that keeps 3 digits. *)
+let pp_ns ppf ns =
+  if ns >= 1_000_000_000 then Fmt.pf ppf "%.2fs" (float ns /. 1e9)
+  else if ns >= 1_000_000 then Fmt.pf ppf "%.1fms" (float ns /. 1e6)
+  else if ns >= 1_000 then Fmt.pf ppf "%.1fus" (float ns /. 1e3)
+  else Fmt.pf ppf "%dns" ns
+
+let phase_rows =
+  [
+    ("lock-acquire", "tm_stm_lock_acquire_ns");
+    ("validate", "tm_stm_validate_ns");
+    ("publish", "tm_stm_publish_ns");
+    ("commit", "tm_stm_commit_ns");
+    ("abort", "tm_stm_abort_ns");
+  ]
+
+let render ~plain ~plan ~frame ~frames ~period ~prev snap =
+  if not plain then print_string "\027[2J\027[H";
+  let nd = plan.Plan.domains in
+  let rate cur pre = float (max 0 (cur - pre)) /. period in
+  let dsnap name d = num snap name d in
+  let dprev name d = match prev with Some p -> num p name d | None -> 0 in
+  Fmt.pr "tmlive top — chaos %s seed=%d domains=%d    frame %d/%d  ts=%dms@."
+    plan.Plan.scenario plan.Plan.seed nd frame frames snap.Tel.Registry.ts;
+  Fmt.pr "@.%-7s %-22s %10s %10s %8s %8s %-12s@." "domain" "fault" "commit/s"
+    "abort/s" "commits" "faults" "class";
+  for d = 0 to nd - 1 do
+    let commits = dsnap "tm_chaos_commits_total" d in
+    let cls =
+      Option.value ~default:"?"
+        (Tel.Registry.sample_state snap ~name:"tm_liveness_class"
+           ~labels:(dom d))
+    in
+    let crashed =
+      Tel.Registry.sample_num snap ~name:"tm_chaos_crashed" ~labels:(dom d)
+      = Some 1
+    in
+    Fmt.pr "%-7d %-22s %10.0f %10.0f %8d %8d %-12s@." d
+      (Plan.fault_label plan.Plan.faults.(d))
+      (rate commits (dprev "tm_chaos_commits_total" d))
+      (rate (aborts_of snap d)
+         (match prev with Some p -> aborts_of p d | None -> 0))
+      commits
+      (dsnap "tm_chaos_injected_total" d)
+      (cls ^ if crashed then " [dead]" else "")
+  done;
+  Fmt.pr "@.STM phase latencies (since start):@.";
+  Fmt.pr "%-14s %10s %8s %8s %8s %8s@." "phase" "count" "p50" "p90" "p99"
+    "max";
+  List.iter
+    (fun (label, name) ->
+      match Tel.Registry.sample_hist snap ~name ~labels:[] with
+      | None -> ()
+      | Some h ->
+          if h.Tel.Instrument.count = 0 then
+            Fmt.pr "%-14s %10d %8s %8s %8s %8s@." label 0 "-" "-" "-" "-"
+          else
+            let q p = Fmt.str "%a" pp_ns (Tel.Instrument.quantile h p) in
+            Fmt.pr "%-14s %10d %8s %8s %8s %8s@." label
+              h.Tel.Instrument.count (q 0.50) (q 0.90) (q 0.99)
+              (Fmt.str "%a" pp_ns h.Tel.Instrument.max_sample))
+    phase_rows;
+  Fmt.pr "%!"
+
+let run ~scenario ~seed ~domains ~tvars ~period ~frames ~plain ~telemetry
+    ~telemetry_format =
+  match Plan.make ~scenario ~seed ~domains with
+  | Error m ->
+      Fmt.epr "error: %s@." m;
+      exit 2
+  | Ok plan ->
+      let tel =
+        Option.map
+          (fun file -> Cli_common.telemetry_writer file telemetry_format)
+          telemetry
+      in
+      let reg = Tel.Registry.create () in
+      ignore (Tel.Stm_probe.install reg);
+      Fun.protect
+        ~finally:(fun () -> Tel.Stm_probe.uninstall ())
+        (fun () ->
+          Runner.with_session ~tvars ~registry:reg plan (fun ses ->
+              let t0 = Unix.gettimeofday () in
+              let prev = ref None in
+              for frame = 1 to frames do
+                Unix.sleepf period;
+                ignore
+                  (Tel.Liveness_gauge.update (Runner.session_liveness ses));
+                let ts =
+                  int_of_float ((Unix.gettimeofday () -. t0) *. 1000.)
+                in
+                let snap = Tel.Registry.scrape reg ~ts in
+                (match tel with Some (add, _) -> add snap | None -> ());
+                render ~plain ~plan ~frame ~frames ~period ~prev:!prev snap;
+                prev := Some snap
+              done));
+      (match tel with Some (_, flush) -> flush () | None -> ())

@@ -70,7 +70,8 @@ let tm_arg =
     & info [] ~docv:"TM" ~doc:"TM implementation (see $(b,zoo)).")
 
 let simulate_cmd =
-  let run entry nprocs ntvars steps seed sched crash parasitic trace_file =
+  let run entry nprocs ntvars steps seed sched crash parasitic trace_file
+      telemetry telemetry_format =
     let fates =
       (match crash with
       | Some p -> [ (p, Tm_sim.Runner.Crash_after_write 1) ]
@@ -88,13 +89,31 @@ let simulate_cmd =
       | Some _ -> Some (Tm_trace.Sink.collector ())
       | None -> None
     in
+    let tel =
+      Option.map
+        (fun file ->
+          let add, flush = telemetry_writer file telemetry_format in
+          let reg = Tm_telemetry.Registry.create () in
+          let pub =
+            Tm_telemetry.Sim_pub.create ~consumers:[ add ] ~nprocs reg
+          in
+          (pub, flush))
+        telemetry
+    in
     let o =
       Tm_sim.Runner.run
         ?trace:(Option.map Tm_trace.Sink.collector_sink col)
+        ?on_event:(Option.map (fun (pub, _) -> Tm_telemetry.Sim_pub.hook pub) tel)
         entry spec
     in
     Fmt.pr "%a@.@." Tm_sim.Runner.pp_summary o;
     let h = o.Tm_sim.Runner.history in
+    (match tel with
+    | None -> ()
+    | Some (pub, flush) ->
+        ignore
+          (Tm_telemetry.Sim_pub.finish pub ~ts:(Tm_history.History.length h));
+        flush ());
     (match (trace_file, col) with
     | Some file, Some col ->
         let mcol = Tm_trace.Sink.collector () in
@@ -154,6 +173,16 @@ let simulate_cmd =
              instants, monitor verdicts) and write it here as Chrome \
              trace_event JSON (Perfetto-loadable).")
   in
+  let telemetry =
+    telemetry_arg
+      ~doc:
+        "Publish per-process commit/abort counters and the live Figure-2 \
+         liveness classes into a telemetry registry, scraped every 200 \
+         history events on the step clock, and write the result here \
+         ($(b,-) for stdout; byte-identical across equal runs)."
+      ()
+  in
+  let telemetry_format = telemetry_format_arg () in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:
@@ -161,7 +190,7 @@ let simulate_cmd =
           the history.")
     Term.(
       const run $ tm_arg $ nprocs $ ntvars $ steps $ seed $ sched $ crash
-      $ parasitic $ trace_file)
+      $ parasitic $ trace_file $ telemetry $ telemetry_format)
 
 let game_cmd =
   let run entry alg rounds =
@@ -292,7 +321,7 @@ let model_check_cmd =
 
 let sweep_cmd =
   let run tms faults seeds nprocs ntvars steps sched jobs metrics_file
-      metrics_format trace_file =
+      metrics_format trace_file telemetry telemetry_format =
     let jobs = max 1 jobs in
     let tms = match tms with [] -> Tm_impl.Registry.all | tms -> tms in
     let patterns = resolve_patterns ~nprocs ~ntvars ~steps ~sched faults in
@@ -345,6 +374,16 @@ let sweep_cmd =
         let events = combined_trace results in
         write_trace_file file events;
         Fmt.pr "@.trace: %d events written to %s@." (List.length events) file);
+    (match telemetry with
+    | None -> ()
+    | Some file ->
+        (* Published post-hoc in canonical grid order (snapshot ts = run
+           index), so the series is byte-identical across --jobs. *)
+        let add, flush = telemetry_writer file telemetry_format in
+        let reg = Tm_telemetry.Registry.create () in
+        let pub = Tm_telemetry.Sweep_pub.create ~consumers:[ add ] reg in
+        ignore (Tm_telemetry.Sweep_pub.publish_all pub results);
+        flush ());
     (* Wall-clock goes to stderr: stdout (and the metrics JSON) must be
        byte-identical across --jobs values. *)
     Fmt.epr "sweep: %d runs in %.3fs (%d jobs)@." (List.length results) dt
@@ -385,15 +424,13 @@ let sweep_cmd =
           ~doc:"Write the per-run and per-TM metrics JSON document here.")
   in
   let metrics_format =
-    Arg.(
-      value
-      & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
-      & info [ "metrics-format" ] ~docv:"FORMAT"
-          ~doc:
-            "How to render metrics on stdout: $(b,table) (per-run table, \
-             per-TM aggregates with latency/retry histograms and a \
-             throughput summary) or $(b,json) (the same document \
-             $(b,--metrics) writes).")
+    format_arg ~names:[ "metrics-format" ]
+      ~doc:
+        "How to render metrics on stdout: $(b,table) (per-run table, \
+         per-TM aggregates with latency/retry histograms and a \
+         throughput summary) or $(b,json) (the same document \
+         $(b,--metrics) writes)."
+      ()
   in
   let trace_file =
     Arg.(
@@ -405,6 +442,17 @@ let sweep_cmd =
              trace_event JSON here (one process lane per run; \
              byte-identical for every $(b,--jobs) value).")
   in
+  let telemetry =
+    telemetry_arg
+      ~doc:
+        "Publish grid-total counters and commit-latency / retry-depth \
+         histograms into a telemetry registry, scraped once per run in \
+         canonical grid order (snapshot timestamp = run index), and write \
+         the result here ($(b,-) for stdout; byte-identical for every \
+         $(b,--jobs) value)."
+      ()
+  in
+  let telemetry_format = telemetry_format_arg () in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
@@ -412,7 +460,8 @@ let sweep_cmd =
           sharded across domains, and report per-run metrics.")
     Term.(
       const run $ tms $ faults $ seeds $ nprocs $ ntvars $ steps $ sched
-      $ jobs $ metrics_file $ metrics_format $ trace_file)
+      $ jobs $ metrics_file $ metrics_format $ trace_file $ telemetry
+      $ telemetry_format)
 
 let trace_cmd =
   let run tms faults seed nprocs ntvars steps sched jobs out format =
@@ -810,11 +859,7 @@ let analyze_cmd =
              (see $(b,--list-rules)).")
   in
   let format =
-    Arg.(
-      value
-      & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
-      & info [ "format" ] ~docv:"FORMAT"
-          ~doc:"Findings on stdout as $(b,table) or $(b,json).")
+    format_arg ~doc:"Findings on stdout as $(b,table) or $(b,json)." ()
   in
   let out =
     Arg.(
@@ -858,7 +903,7 @@ let analyze_cmd =
 
 let chaos_cmd =
   let run list_scenarios scenario seed domains tvars warmup window format out
-      trace_file =
+      trace_file telemetry telemetry_format =
     if list_scenarios then
       List.iter
         (fun s ->
@@ -871,10 +916,19 @@ let chaos_cmd =
           Fmt.epr "error: %s@." m;
           exit 2
       | Ok plan ->
-          let o = Tm_chaos.Runner.run ~tvars ~warmup ~window plan in
+          let tel =
+            Option.map
+              (fun file -> telemetry_writer file telemetry_format)
+              telemetry
+          in
+          let o =
+            Tm_chaos.Runner.run ~tvars ~warmup ~window
+              ?on_sample:(Option.map fst tel) plan
+          in
           (match format with
           | `Table -> Fmt.pr "%a" Tm_chaos.Runner.pp_table o
           | `Json -> Fmt.pr "%s@." (Tm_chaos.Runner.to_json o));
+          (match tel with None -> () | Some (_, flush) -> flush ());
           (match out with
           | None -> ()
           | Some file ->
@@ -927,13 +981,11 @@ let chaos_cmd =
           ~doc:"Observation window between the two watchdog samples.")
   in
   let format =
-    Arg.(
-      value
-      & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
-      & info [ "format" ] ~docv:"FORMAT"
-          ~doc:
-            "Verdicts on stdout as $(b,table) (plan schedule plus per-domain \
-             verdict lines) or $(b,json) (the same document $(b,-o) writes).")
+    format_arg
+      ~doc:
+        "Verdicts on stdout as $(b,table) (plan schedule plus per-domain \
+         verdict lines) or $(b,json) (the same document $(b,-o) writes)."
+      ()
   in
   let out =
     Arg.(
@@ -953,6 +1005,16 @@ let chaos_cmd =
              operation clock) and the empirical verdict instants — \
              byte-identical for a fixed (scenario, seed, domains).")
   in
+  let telemetry =
+    telemetry_arg
+      ~doc:
+        "Export the run's telemetry here ($(b,-) for stdout): per-domain \
+         chaos counters and the $(b,tm_liveness_class) / \
+         $(b,tm_liveness_correct) gauges, scraped at both watchdog \
+         samples; the final scrape's classes equal the printed verdicts."
+      ()
+  in
+  let telemetry_format = telemetry_format_arg () in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
@@ -962,7 +1024,65 @@ let chaos_cmd =
           Exits 1 on any verdict mismatch.")
     Term.(
       const run $ list_scenarios $ scenario $ seed $ domains $ tvars $ warmup
-      $ window $ format $ out $ trace_file)
+      $ window $ format $ out $ trace_file $ telemetry $ telemetry_format)
+
+let top_cmd =
+  let run scenario seed domains tvars period frames plain telemetry
+      telemetry_format =
+    Dashboard.run ~scenario ~seed ~domains ~tvars ~period ~frames ~plain
+      ~telemetry ~telemetry_format
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt scenario_conv "healthy"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Fault scenario to inject (see $(b,chaos --list)).")
+  in
+  let seed = seed_arg () in
+  let domains =
+    Arg.(
+      value & opt int 4
+      & info [ "d"; "domains" ] ~doc:"Worker domains to spawn (>= 2).")
+  in
+  let tvars = ntvars_arg () in
+  let period =
+    Arg.(
+      value & opt float 0.5
+      & info [ "period" ] ~docv:"SECONDS"
+          ~doc:"Seconds between dashboard frames (scrape period).")
+  in
+  let frames =
+    Arg.(
+      value & opt int 10
+      & info [ "frames" ] ~docv:"N" ~doc:"Frames to render before exiting.")
+  in
+  let plain =
+    Arg.(
+      value & flag
+      & info [ "plain" ]
+          ~doc:
+            "Append frames instead of redrawing in place (no ANSI escape \
+             codes; for logs and pipes).")
+  in
+  let telemetry =
+    telemetry_arg
+      ~doc:
+        "Also export every rendered frame's scrape here ($(b,-) for \
+         stdout)."
+      ()
+  in
+  let telemetry_format = telemetry_format_arg () in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live liveness dashboard: run a chaos scenario on the real \
+          multicore Stm runtime and redraw per-domain commit/abort rates, \
+          injected-fault counters, STM phase-latency percentiles and each \
+          domain's current Figure-2 class every scrape period.")
+    Term.(
+      const run $ scenario $ seed $ domains $ tvars $ period $ frames $ plain
+      $ telemetry $ telemetry_format)
 
 let () =
   let info =
@@ -976,7 +1096,7 @@ let () =
        (Cmd.group info
           [
             zoo_cmd; figures_cmd; simulate_cmd; game_cmd; matrix_cmd;
-            monitor_cmd; sweep_cmd; trace_cmd; chaos_cmd; analyze_cmd;
-            model_check_cmd; explore_cmd; crash_windows_cmd; dump_cmd;
-            check_cmd;
+            monitor_cmd; sweep_cmd; trace_cmd; chaos_cmd; top_cmd;
+            analyze_cmd; model_check_cmd; explore_cmd; crash_windows_cmd;
+            dump_cmd; check_cmd;
           ]))

@@ -2,39 +2,49 @@ module Stm = Tm_stm.Stm
 module Pc = Tm_liveness.Process_class
 module Emp = Tm_liveness.Empirical
 module Tev = Tm_trace.Trace_event
+module Tel = Tm_telemetry
 
 type sample = { ops : int; trycs : int; commits : int; aborts : int }
 
-(* Per-domain monotone counters, written by the worker (and by the chaos
-   handler on its domain), sampled by the watchdog.  Aborts are derived:
+(* Per-domain monotone counters live in a telemetry registry
+   ([tm_chaos_*_total{domain=...}], single-writer so one shard each):
+   the watchdog, the liveness gauge and any --telemetry export all read
+   the same instruments instead of ad-hoc cells.  Aborts are derived:
    every transaction body start is an attempt, every [atomically] return
    a commit, and each attempt either commits or aborts. *)
-type cell = {
-  c_ops : int Atomic.t;
-  c_attempts : int Atomic.t;
-  c_trycs : int Atomic.t;
-  c_commits : int Atomic.t;
-  c_crashed : bool Atomic.t;
+type session = {
+  ses_plan : Plan.t;
+  ses_registry : Tel.Registry.t;
+  ses_liveness : Tel.Liveness_gauge.t;
+  ses_ops : Tel.Instrument.counter array;
+  ses_attempts : Tel.Instrument.counter array;
+  ses_trycs : Tel.Instrument.counter array;
+  ses_commits : Tel.Instrument.counter array;
+  ses_injected : Tel.Instrument.counter array;
+  ses_crashed : Tel.Instrument.gauge array;
 }
 
-let cell () =
-  {
-    c_ops = Atomic.make 0;
-    c_attempts = Atomic.make 0;
-    c_trycs = Atomic.make 0;
-    c_commits = Atomic.make 0;
-    c_crashed = Atomic.make false;
-  }
+let session_plan ses = ses.ses_plan
+let session_registry ses = ses.ses_registry
+let session_liveness ses = ses.ses_liveness
 
-let sample_of c =
-  let attempts = Atomic.get c.c_attempts in
-  let commits = Atomic.get c.c_commits in
+let session_crashed ses d =
+  Tel.Instrument.gauge_value ses.ses_crashed.(d) = 1
+
+let session_injected ses d = Tel.Instrument.value ses.ses_injected.(d)
+
+let sample ses d =
+  let v a = Tel.Instrument.value a.(d) in
+  let attempts = v ses.ses_attempts in
+  let commits = v ses.ses_commits in
   {
-    ops = Atomic.get c.c_ops;
-    trycs = Atomic.get c.c_trycs;
+    ops = v ses.ses_ops;
+    trycs = v ses.ses_trycs;
     commits;
     aborts = max 0 (attempts - commits);
   }
+
+let samples ses = Array.init ses.ses_plan.Plan.domains (sample ses)
 
 type report = {
   rep_domain : int;
@@ -55,11 +65,16 @@ type outcome = {
   o_events : Tev.t list;
 }
 
-(* The handler runs on every worker domain; its per-domain identity (which
-   fault, which counter cell) travels in DLS, set by the worker before its
-   first transaction.  Domains without a registered identity (the
-   watchdog, unrelated code in the same process) see only [Proceed]. *)
-type dstate = { ds_fault : Plan.fault; ds_cell : cell }
+(* The handler runs on every worker domain; its per-domain identity
+   (which fault, which counters) travels in DLS, set by the worker
+   before its first transaction.  Domains without a registered identity
+   (the watchdog, unrelated code in the same process) see only
+   [Proceed]. *)
+type dstate = {
+  ds_fault : Plan.fault;
+  ds_ops : Tel.Instrument.counter;
+  ds_injected : Tel.Instrument.counter;
+}
 
 let dls : dstate option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
@@ -67,24 +82,36 @@ let dls : dstate option ref Domain.DLS.key =
 let handler point =
   match !(Domain.DLS.get dls) with
   | None -> Stm.Chaos.Proceed
-  | Some st -> (
+  | Some st ->
       (* The domain's operation clock: one tick per interception-point
-         firing, the coordinate system of every planned fault instant. *)
-      let n = Atomic.fetch_and_add st.ds_cell.c_ops 1 in
-      match st.ds_fault with
-      | Plan.Healthy | Plan.Parasitic _ -> Stm.Chaos.Proceed
-      | Plan.Crash { at_op; holding_locks } ->
-          let trigger =
-            if holding_locks then point = Stm.Chaos.Pre_commit
-            else point = Stm.Chaos.Read
-          in
-          if trigger && n >= at_op then Stm.Chaos.Crash else Stm.Chaos.Proceed
-      | Plan.Stall { period; spins } ->
-          if n mod period = 0 then Stm.Chaos.Stall spins else Stm.Chaos.Proceed
-      | Plan.Abort_storm { from_op; until_op } ->
-          if point = Stm.Chaos.Read && n >= from_op && n < until_op then
-            Stm.Chaos.Abort
-          else Stm.Chaos.Proceed)
+         firing, the coordinate system of every planned fault instant.
+         The counter is single-writer (this domain), so read-then-incr
+         is the old fetch_and_add. *)
+      let n = Tel.Instrument.value st.ds_ops in
+      Tel.Instrument.incr st.ds_ops;
+      let action =
+        match st.ds_fault with
+        | Plan.Healthy | Plan.Parasitic _ -> Stm.Chaos.Proceed
+        | Plan.Crash { at_op; holding_locks } ->
+            let trigger =
+              if holding_locks then point = Stm.Chaos.Pre_commit
+              else point = Stm.Chaos.Read
+            in
+            if trigger && n >= at_op then Stm.Chaos.Crash
+            else Stm.Chaos.Proceed
+        | Plan.Stall { period; spins } ->
+            if n mod period = 0 then Stm.Chaos.Stall spins
+            else Stm.Chaos.Proceed
+        | Plan.Abort_storm { from_op; until_op } ->
+            if point = Stm.Chaos.Read && n >= from_op && n < until_op then
+              Stm.Chaos.Abort
+            else Stm.Chaos.Proceed
+      in
+      (match action with
+      | Stm.Chaos.Proceed -> ()
+      | Stm.Chaos.Abort | Stm.Chaos.Stall _ | Stm.Chaos.Crash ->
+          Tel.Instrument.incr st.ds_injected);
+      action
 
 exception Stop_worker
 
@@ -93,9 +120,10 @@ exception Stop_worker
    the whole peer set.  A parasitic turn instead reads only [mine], a
    t-variable nobody writes — active forever, never conflicting, never
    reaching tryC. *)
-let worker ~stop ~shared ~mine ~fault ~cell d () =
+let worker ~stop ~shared ~mine ~fault ~ops ~injected ~attempts ~trycs ~commits
+    ~crashed d () =
   let slot = Domain.DLS.get dls in
-  slot := Some { ds_fault = fault; ds_cell = cell };
+  slot := Some { ds_fault = fault; ds_ops = ops; ds_injected = injected };
   let st = ref (d + 1) in
   let n = Array.length shared in
   let parasitic_from =
@@ -104,9 +132,9 @@ let worker ~stop ~shared ~mine ~fault ~cell d () =
   (try
      while not (Atomic.get stop) do
        match parasitic_from with
-       | Some from when Atomic.get cell.c_ops >= from ->
+       | Some from when Tel.Instrument.value ops >= from ->
            Stm.atomically (fun () ->
-               Atomic.incr cell.c_attempts;
+               Tel.Instrument.incr attempts;
                while true do
                  ignore (Stm.read mine);
                  if Atomic.get stop then raise Stop_worker;
@@ -120,28 +148,80 @@ let worker ~stop ~shared ~mine ~fault ~cell d () =
                (* Re-run on every attempt: a permanently starving domain
                   still gets to observe the stop flag. *)
                if Atomic.get stop then raise Stop_worker;
-               Atomic.incr cell.c_attempts;
+               Tel.Instrument.incr attempts;
                let v0 = Stm.read shared.(0) in
                let vo = Stm.read shared.(other) in
                Stm.write shared.(0) (v0 + 1);
                Stm.write shared.(other) (vo + 1);
-               Atomic.incr cell.c_trycs);
-           Atomic.incr cell.c_commits
+               Tel.Instrument.incr trycs);
+           Tel.Instrument.incr commits
      done
    with
   | Stop_worker -> ()
-  | Stm.Chaos.Crashed -> Atomic.set cell.c_crashed true);
+  | Stm.Chaos.Crashed -> Tel.Instrument.set_gauge crashed 1);
   slot := None
 
 let counters_of (s : sample) =
   Emp.counters ~ops:s.ops ~trycs:s.trycs ~commits:s.commits ~aborts:s.aborts
 
-let run ?(tvars = 4) ?(warmup = 0.05) ?(window = 0.15) (plan : Plan.t) =
+let with_session ?(tvars = 4) ?registry (plan : Plan.t) f =
   let nd = plan.Plan.domains in
+  let reg =
+    match registry with Some r -> r | None -> Tel.Registry.create ()
+  in
+  let per name help =
+    Array.init nd (fun d ->
+        Tel.Registry.counter reg ~shards:1
+          ~labels:[ ("domain", string_of_int d) ]
+          ~help name)
+  in
+  let ops =
+    per "tm_chaos_ops_total"
+      "Interception-point firings (the domain's operation clock)"
+  in
+  let attempts = per "tm_chaos_attempts_total" "Transaction attempts started" in
+  let trycs =
+    per "tm_chaos_trycs_total" "Transaction bodies that reached tryC"
+  in
+  let commits = per "tm_chaos_commits_total" "Transactions committed" in
+  let injected =
+    per "tm_chaos_injected_total" "Faults injected (non-Proceed actions)"
+  in
+  let crashed =
+    Array.init nd (fun d ->
+        Tel.Registry.gauge reg
+          ~labels:[ ("domain", string_of_int d) ]
+          ~help:"1 after the worker died on Stm.Chaos.Crashed"
+          "tm_chaos_crashed")
+  in
+  let sources =
+    Array.init nd (fun d ->
+        Tel.Liveness_gauge.source
+          ~ops:(fun () -> Tel.Instrument.value ops.(d))
+          ~trycs:(fun () -> Tel.Instrument.value trycs.(d))
+          ~commits:(fun () -> Tel.Instrument.value commits.(d))
+          ~aborts:(fun () ->
+            max 0
+              (Tel.Instrument.value attempts.(d)
+              - Tel.Instrument.value commits.(d))))
+  in
+  let liveness = Tel.Liveness_gauge.create reg ~sources in
+  let ses =
+    {
+      ses_plan = plan;
+      ses_registry = reg;
+      ses_liveness = liveness;
+      ses_ops = ops;
+      ses_attempts = attempts;
+      ses_trycs = trycs;
+      ses_commits = commits;
+      ses_injected = injected;
+      ses_crashed = crashed;
+    }
+  in
   let shared = Array.init (max 2 tvars) (fun _ -> Stm.tvar 0) in
   let priv = Array.init nd (fun _ -> Stm.tvar 0) in
   let stop = Atomic.make false in
-  let cells = Array.init nd (fun _ -> cell ()) in
   Stm.Chaos.install handler;
   Fun.protect
     ~finally:(fun () -> Stm.Chaos.uninstall ())
@@ -150,45 +230,80 @@ let run ?(tvars = 4) ?(warmup = 0.05) ?(window = 0.15) (plan : Plan.t) =
         List.init nd (fun d ->
             Domain.spawn
               (worker ~stop ~shared ~mine:priv.(d)
-                 ~fault:plan.Plan.faults.(d) ~cell:cells.(d) d))
+                 ~fault:plan.Plan.faults.(d) ~ops:ops.(d)
+                 ~injected:injected.(d) ~attempts:attempts.(d)
+                 ~trycs:trycs.(d) ~commits:commits.(d) ~crashed:crashed.(d) d))
       in
-      Unix.sleepf warmup;
-      let first = Array.map sample_of cells in
-      Unix.sleepf window;
-      let last = Array.map sample_of cells in
-      Atomic.set stop true;
-      List.iter Domain.join ds;
-      let reports =
-        List.init nd (fun d ->
-            {
-              rep_domain = d;
-              rep_fault = plan.Plan.faults.(d);
-              rep_expected = plan.Plan.expected.(d);
-              rep_observed =
-                Emp.classify_counters ~first:(counters_of first.(d))
-                  ~last:(counters_of last.(d));
-              rep_first = first.(d);
-              rep_last = last.(d);
-              rep_crashed = Atomic.get cells.(d).c_crashed;
-            })
+      let finish () =
+        Atomic.set stop true;
+        List.iter Domain.join ds
       in
-      let h = Plan.horizon plan in
-      let verdicts =
-        List.map
-          (fun r ->
-            Tev.instant ~ts:h ~tid:r.rep_domain Tev.Monitor "chaos-verdict"
-              [
-                ("class", Tev.Str (Pc.cls_label r.rep_observed));
-                ("expected", Tev.Str (Pc.cls_label r.rep_expected));
-              ])
-          reports
-      in
-      {
-        o_plan = plan;
-        o_reports = reports;
-        o_ok = List.for_all report_ok reports;
-        o_events = Plan.trace_events plan @ verdicts;
-      })
+      match f ses with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          finish ();
+          raise e)
+
+let run ?tvars ?(warmup = 0.05) ?(window = 0.15) ?registry ?on_sample
+    (plan : Plan.t) =
+  let nd = plan.Plan.domains in
+  let scrape ses ts =
+    match on_sample with
+    | Some f -> f (Tel.Registry.scrape ses.ses_registry ~ts)
+    | None -> ()
+  in
+  let first, last, ses =
+    with_session ?tvars ?registry plan (fun ses ->
+        Unix.sleepf warmup;
+        let first = samples ses in
+        (* Baseline the liveness gauge on the exact watchdog samples so
+           the exported classes equal the verdicts below. *)
+        Tel.Liveness_gauge.rebase_with ses.ses_liveness
+          (Array.map counters_of first);
+        scrape ses 0;
+        Unix.sleepf window;
+        let last = samples ses in
+        ignore
+          (Tel.Liveness_gauge.update_with ses.ses_liveness
+             (Array.map counters_of last));
+        scrape ses 1;
+        (first, last, ses))
+  in
+  (* [with_session] has joined the workers, so the crashed gauges are
+     final. *)
+  let reports =
+    List.init nd (fun d ->
+        {
+          rep_domain = d;
+          rep_fault = plan.Plan.faults.(d);
+          rep_expected = plan.Plan.expected.(d);
+          rep_observed =
+            Emp.classify_counters ~first:(counters_of first.(d))
+              ~last:(counters_of last.(d));
+          rep_first = first.(d);
+          rep_last = last.(d);
+          rep_crashed = Tel.Instrument.gauge_value ses.ses_crashed.(d) = 1;
+        })
+  in
+  let h = Plan.horizon plan in
+  let verdicts =
+    List.map
+      (fun r ->
+        Tev.instant ~ts:h ~tid:r.rep_domain Tev.Monitor "chaos-verdict"
+          [
+            ("class", Tev.Str (Pc.cls_label r.rep_observed));
+            ("expected", Tev.Str (Pc.cls_label r.rep_expected));
+          ])
+      reports
+  in
+  {
+    o_plan = plan;
+    o_reports = reports;
+    o_ok = List.for_all report_ok reports;
+    o_events = Plan.trace_events plan @ verdicts;
+  }
 
 let delta r f = f r.rep_last - f r.rep_first
 

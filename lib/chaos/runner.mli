@@ -22,6 +22,45 @@ type sample = { ops : int; trycs : int; commits : int; aborts : int }
     interception-point firings, [trycs] transaction bodies that reached
     [tryC], [aborts] is attempts minus commits. *)
 
+type session
+(** A live chaos run: worker domains spawned, faults armed, counters
+    flowing.  The per-domain counters are telemetry instruments
+    ([tm_chaos_ops_total], [tm_chaos_attempts_total],
+    [tm_chaos_trycs_total], [tm_chaos_commits_total],
+    [tm_chaos_injected_total], each labelled [domain="d"], plus a
+    [tm_chaos_crashed] gauge) registered in the session's registry, with
+    a {!Tm_telemetry.Liveness_gauge} classifying each domain between
+    scrapes. *)
+
+val session_plan : session -> Plan.t
+val session_registry : session -> Tm_telemetry.Registry.t
+val session_liveness : session -> Tm_telemetry.Liveness_gauge.t
+
+val sample : session -> int -> sample
+(** Current counter snapshot of one domain. *)
+
+val samples : session -> sample array
+(** [sample] for every domain, ascending. *)
+
+val session_crashed : session -> int -> bool
+(** The domain's worker died on [Stm.Chaos.Crashed].  Only final after
+    {!with_session} returns (workers are joined on the way out); inside
+    the callback it is a live, monotone flag. *)
+
+val session_injected : session -> int -> int
+(** Faults injected into the domain so far (non-[Proceed] handler
+    actions). *)
+
+val with_session :
+  ?tvars:int -> ?registry:Tm_telemetry.Registry.t -> Plan.t -> (session -> 'a) -> 'a
+(** [with_session plan f] installs the plan's fault handler, spawns one
+    worker domain per plan slot and applies [f] to the live session; on
+    return (or exception) it stops and joins the workers and uninstalls
+    the handler.  [registry] is where the session registers its
+    instruments (default: a fresh private one) — pass a shared registry
+    to co-locate chaos counters with e.g. {!Tm_telemetry.Stm_probe}
+    phase metrics in one scrape. *)
+
 type report = {
   rep_domain : int;
   rep_fault : Plan.fault;
@@ -44,7 +83,14 @@ type outcome = {
           ["chaos-verdict"], [ts] = {!Plan.horizon}, [tid] = domain) *)
 }
 
-val run : ?tvars:int -> ?warmup:float -> ?window:float -> Plan.t -> outcome
+val run :
+  ?tvars:int ->
+  ?warmup:float ->
+  ?window:float ->
+  ?registry:Tm_telemetry.Registry.t ->
+  ?on_sample:(Tm_telemetry.Registry.snapshot -> unit) ->
+  Plan.t ->
+  outcome
 (** [run plan] executes the plan and classifies every domain.  [tvars]
     sizes the shared hot set (default 4), [warmup] is the settle time in
     seconds before the first sample (default 0.05 — fault onsets are a
@@ -52,6 +98,14 @@ val run : ?tvars:int -> ?warmup:float -> ?window:float -> Plan.t -> outcome
     the steady faulty state), [window] the observation time between
     samples (default 0.15).  The [Stm.Chaos] handler is uninstalled
     before returning, even on exceptions.
+
+    [registry] and [on_sample] expose the run's telemetry: the watchdog
+    scrapes the session registry right after each of its two samples
+    (snapshot timestamps 0 and 1) and hands the snapshots to
+    [on_sample].  The liveness gauge is rebased on the first watchdog
+    sample and updated with the second, so the [tm_liveness_class]
+    stateset in the final scrape byte-agrees with the verdicts in the
+    returned reports.
 
     Note: after a crash-holding-locks run the hot t-variables stay
     locked forever by the dead domain — they are private to the run and

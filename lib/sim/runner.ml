@@ -88,7 +88,7 @@ let fate_label = function
 
 let mode_label = function Normal -> "normal" | Parasite -> "parasite"
 
-let run ?trace (entry : Tm_impl.Registry.entry) s =
+let run ?trace ?on_event (entry : Tm_impl.Registry.entry) s =
   let cfg =
     Tm_impl.Tm_intf.config ~seed:s.seed ~nprocs:s.nprocs ~ntvars:s.ntvars ()
   in
@@ -124,6 +124,9 @@ let run ?trace (entry : Tm_impl.Registry.entry) s =
      event about to be recorded at that index. *)
   let nev = ref 0 in
   let record e =
+    (* Observers see the event at its history index, before it is
+       appended — the same step clock the trace and metrics use. *)
+    (match on_event with Some f -> f ~ts:!nev e | None -> ());
     history := History.append !history e;
     incr nev
   in

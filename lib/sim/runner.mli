@@ -73,13 +73,24 @@ type outcome = {
   steps_taken : int;
 }
 
-val run : ?trace:Tm_trace.Sink.t -> Tm_impl.Registry.entry -> spec -> outcome
+val run :
+  ?trace:Tm_trace.Sink.t ->
+  ?on_event:(ts:int -> Event.t -> unit) ->
+  Tm_impl.Registry.entry ->
+  spec ->
+  outcome
 (** Runs the simulation.  With [?trace], structured trace events are
     streamed into the sink as the run unfolds: per-process transaction and
     tryC spans, fault instants (crashes, parasitic turns), and per-process
     defer counters.  Event timestamps are history-event indexes — the
     deterministic step clock — so traces of a seeded run are bit-for-bit
-    reproducible. *)
+    reproducible.
+
+    [?on_event] observes every history event as it is recorded, with
+    [ts] the event's history index (the same step clock).  It is called
+    synchronously on the simulation domain; telemetry publishers
+    ({!Tm_telemetry.Sim_pub} via its [hook]) plug in here without the
+    runner depending on them. *)
 
 val total : int array -> int
 val commit_total : outcome -> int

@@ -192,6 +192,48 @@ module Chaos = struct
     | Crash -> raise Crashed
 end
 
+(* Always-on telemetry.  Third user of the zero-cost discipline of
+   [Trace] and [Chaos]: every instrumented event costs one [Atomic.get]
+   on [armed] while no probe is installed, and the probe record is only
+   loaded once armed.  The probe supplies its own clock so this module
+   stays clock-library-agnostic; [now] must be monotone and its unit is
+   whatever the installer counts in (tm_telemetry installs nanoseconds).
+   Durations handed to [observe] are [now] deltas in that unit. *)
+module Tel = struct
+  type phase = Begin | Read | Lock | Validate | Publish | Commit | Abort
+
+  type probe = {
+    now : unit -> int;
+    count : phase -> unit;
+    observe : phase -> int -> unit;
+  }
+
+  let null_probe =
+    { now = (fun () -> 0); count = (fun _ -> ()); observe = (fun _ _ -> ()) }
+
+  let armed = Atomic.make false
+  let probe = Atomic.make null_probe
+
+  let install p =
+    Atomic.set probe p;
+    Atomic.set armed true
+
+  let uninstall () =
+    Atomic.set armed false;
+    Atomic.set probe null_probe
+
+  let is_armed () = Atomic.get armed
+
+  let phase_label = function
+    | Begin -> "begin"
+    | Read -> "read"
+    | Lock -> "lock-acquire"
+    | Validate -> "validate"
+    | Publish -> "publish"
+    | Commit -> "commit"
+    | Abort -> "abort"
+end
+
 (* Write-set entry: the pending value plus closures for the commit
    protocol (lock, validate-ownership, publish, unlock). *)
 type wentry = {
@@ -278,6 +320,7 @@ let read (type a) (tv : a tvar) : a =
           match tv.proj w.value with Some x -> x | None -> assert false)
       | None ->
           if Atomic.get Chaos.armed then Chaos.fire Chaos.Read;
+          if Atomic.get Tel.armed then (Atomic.get Tel.probe).Tel.count Tel.Read;
           let v1 = read_vlock tv in
           if locked v1 || version_of v1 > txn.rv then raise Conflict;
           let x = Atomic.get tv.content in
@@ -303,6 +346,8 @@ let commit txn =
   | [] -> () (* read-only: reads were validated against rv as they happened *)
   | writes ->
       let tr = Atomic.get Trace.tracing in
+      let tel = Atomic.get Tel.armed in
+      let tp = if tel then Atomic.get Tel.probe else Tel.null_probe in
       let ws =
         List.sort_uniq (fun a b -> Int.compare a.w_id b.w_id) writes
       in
@@ -355,7 +400,16 @@ let commit txn =
               raise Conflict
             end
       in
+      let t0 = if tel then tp.Tel.now () else 0 in
       lock_all 0 ws;
+      let t1 =
+        if tel then begin
+          let t = tp.Tel.now () in
+          tp.Tel.observe Tel.Lock (t - t0);
+          t
+        end
+        else 0
+      in
       let wv = Atomic.fetch_and_add clock 1 + 1 in
       chaos Chaos.Validate;
       let owned id = List.exists (fun w -> w.w_id = id) ws in
@@ -373,6 +427,14 @@ let commit txn =
           release_all List.rev;
           raise Conflict
       | None -> ());
+      let t2 =
+        if tel then begin
+          let t = tp.Tel.now () in
+          tp.Tel.observe Tel.Validate (t - t1);
+          t
+        end
+        else 0
+      in
       chaos Chaos.Pre_commit;
       (* Publishing a t-variable also releases its lock (the vlock is set
          to the new even version), hence the paired release event.  Both
@@ -388,6 +450,7 @@ let commit txn =
           end;
           w.publish w.value wv)
         (List.rev !acquired);
+      if tel then tp.Tel.observe Tel.Publish (tp.Tel.now () - t2);
       chaos Chaos.Post_commit
 
 let backoff attempts prng_state =
@@ -417,6 +480,13 @@ let atomically (type a) (f : unit -> a) : a =
         if Atomic.get Trace.tracing then
           Trace.emit Tev.Txn "attempt" Tev.Span_begin
             [ ("attempt", Tev.Int n) ];
+        let tel = Atomic.get Tel.armed in
+        let tp = if tel then Atomic.get Tel.probe else Tel.null_probe in
+        if tel then tp.Tel.count Tel.Begin;
+        let t0 = if tel then tp.Tel.now () else 0 in
+        let aborted () =
+          if tel then tp.Tel.observe Tel.Abort (tp.Tel.now () - t0)
+        in
         let txn = { rv = Atomic.get clock; reads = []; writes = [] } in
         slot := Some txn;
         match f () with
@@ -425,23 +495,27 @@ let atomically (type a) (f : unit -> a) : a =
               commit txn;
               slot := None;
               Atomic.incr commit_count;
+              if tel then tp.Tel.observe Tel.Commit (tp.Tel.now () - t0);
               end_attempt "commit";
               result
             with Conflict ->
               slot := None;
               Atomic.incr abort_count;
+              aborted ();
               end_attempt "conflict";
               backoff n prng_state;
               attempt (n + 1))
         | exception Conflict ->
             slot := None;
             Atomic.incr abort_count;
+            aborted ();
             end_attempt "conflict";
             backoff n prng_state;
             attempt (n + 1)
         | exception Retry ->
             slot := None;
             Atomic.incr abort_count;
+            aborted ();
             end_attempt "retry";
             backoff (n + 2) prng_state;
             attempt (n + 1)

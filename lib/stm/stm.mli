@@ -136,3 +136,54 @@ module Chaos : sig
   (** ["read"], ["validate"], ["lock-acquire"], ["pre-commit"],
       ["post-commit"]. *)
 end
+
+(** Always-on telemetry probe.
+
+    The third user of the null-by-default discipline of {!Trace} and
+    {!Chaos}: while no probe is installed every instrumented event costs
+    a single atomic flag read and nothing is allocated; the probe record
+    itself is only loaded once the flag is armed.
+
+    An installed probe sees, per transaction attempt, a
+    [count Begin]; per transactional read a [count Read]; and phase
+    durations via [observe]: [Lock] (acquiring the write-set vlocks),
+    [Validate] (write-version draw plus read-set validation), [Publish]
+    (publishing and releasing), all within a write commit, plus the
+    whole-attempt [Commit]/[Abort] latency from attempt start to
+    outcome.  Durations are deltas of the probe's own [now] clock — the
+    probe chooses the unit (tm_telemetry installs a monotonic
+    nanosecond clock), which keeps this library clock-agnostic.
+
+    Probes run on the transaction's domain and must be domain-safe and
+    non-blocking; [tm_telemetry]'s sharded instruments are the intended
+    implementation. *)
+module Tel : sig
+  type phase =
+    | Begin  (** counted: a transaction attempt started *)
+    | Read  (** counted: a validated transactional read *)
+    | Lock  (** observed: commit vlock acquisition, write commits only *)
+    | Validate  (** observed: read-set validation, write commits only *)
+    | Publish  (** observed: publish + release, write commits only *)
+    | Commit  (** observed: whole-attempt latency of a commit *)
+    | Abort  (** observed: whole-attempt latency of an abort *)
+
+  type probe = {
+    now : unit -> int;  (** monotone; the probe's unit *)
+    count : phase -> unit;
+    observe : phase -> int -> unit;  (** duration in [now]'s unit *)
+  }
+
+  val null_probe : probe
+
+  val install : probe -> unit
+  (** Install and arm.  Replaces any previously installed probe. *)
+
+  val uninstall : unit -> unit
+  (** Disarm: back to the one-flag-read fast path. *)
+
+  val is_armed : unit -> bool
+
+  val phase_label : phase -> string
+  (** ["begin"], ["read"], ["lock-acquire"], ["validate"],
+      ["publish"], ["commit"], ["abort"]. *)
+end

@@ -1,0 +1,90 @@
+(** Cheap, contention-free instruments.
+
+    The write paths are wait-free per shard and allocate nothing:
+    counters and histograms are sharded over domains (each writer RMWs
+    the atomics of the shard picked from its domain id), so concurrent
+    domains do not serialize on one cache line; reading an instrument
+    sums its shards.  Shard atomics are kept at least a cache line apart
+    by stride-allocating the cell array (the OCaml 5 major heap does not
+    move blocks, so the spacing is stable).
+
+    A single-writer instrument (e.g. a per-domain counter the owning
+    domain alone increments) should use [~shards:1]: one cell, and
+    reading it is one atomic load. *)
+
+val default_shards : int
+(** 8. Shard counts are rounded up to a power of two. *)
+
+(** {2 Counters} *)
+
+type counter
+(** A monotone sharded counter. *)
+
+val counter : ?shards:int -> unit -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val value : counter -> int
+(** Sum over shards.  Not a linearizable snapshot of concurrent
+    increments, but never under-reads a quiesced counter and is always
+    monotone for monotone updates. *)
+
+(** {2 Gauges} *)
+
+type gauge
+
+val gauge : ?init:int -> unit -> gauge
+val set_gauge : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+(** {2 Histograms}
+
+    Log2-bucketed, same bucket rule as {!Tm_sim.Metrics}: bucket 0
+    counts value 0 (and negatives), bucket [k >= 1] counts
+    [\[2^(k-1), 2^k)], the last bucket overflows.  {!hist_buckets}
+    buckets cover nanosecond latencies up to about one second. *)
+
+val hist_buckets : int
+(** 32. *)
+
+val bucket_of : int -> int
+(** The bucket index a value lands in. *)
+
+val bucket_upper : int -> int
+(** Inclusive upper bound of a bucket: 0 for bucket 0, [2^k - 1] for
+    bucket [k], [max_int] for the overflow bucket. *)
+
+type histogram
+
+val histogram : ?shards:int -> unit -> histogram
+val observe : histogram -> int -> unit
+
+val absorb :
+  histogram -> buckets:int array -> sum:int -> max_sample:int -> unit
+(** Add a pre-bucketed histogram (same log2 bucket rule, possibly fewer
+    buckets — e.g. a {!Tm_sim.Metrics.histogram}) into this one.  The
+    source's overflow bucket is folded into the bucket of the same
+    index, which under-reads only values that overflowed the (shorter)
+    source histogram. *)
+
+type hsnap = {
+  buckets : int array;  (** [hist_buckets] summed bucket counts *)
+  count : int;
+  sum : int;
+  max_sample : int;
+}
+(** A point-in-time summation of a histogram's shards. *)
+
+val hist_snapshot : histogram -> hsnap
+
+val quantile : hsnap -> float -> int
+(** [quantile snap q] for [q] in [0, 1]: the inclusive upper bound of
+    the bucket holding the rank-[ceil (q * count)] sample, clamped to
+    [max_sample] (so quantiles are monotone in [q] and never exceed the
+    maximum).  0 for an empty snapshot. *)
+
+val hsnap_mean : hsnap -> float
+
+val pp_hsnap : Format.formatter -> hsnap -> unit
+(** One line: p50/p90/p99/max, count and mean; ["(empty)"] when the
+    snapshot holds no samples. *)

@@ -1,0 +1,77 @@
+(* The bridge from [Stm.Tel] to the registry: event counters for the
+   begin/read/commit/abort seams and nanosecond phase-latency
+   histograms for the commit protocol.  The clock is bechamel's
+   monotonic_clock stubs (CLOCK_MONOTONIC in nanoseconds) — tm_stm
+   itself stays clock-agnostic; the unit enters here. *)
+
+module Stm = Tm_stm.Stm
+
+let ns_clock () = Int64.to_int (Monotonic_clock.now ())
+
+type t = {
+  begins : Instrument.counter;
+  reads : Instrument.counter;
+  commits : Instrument.counter;
+  aborts : Instrument.counter;
+  lock_ns : Instrument.histogram;
+  validate_ns : Instrument.histogram;
+  publish_ns : Instrument.histogram;
+  commit_ns : Instrument.histogram;
+  abort_ns : Instrument.histogram;
+}
+
+let register reg =
+  let c name help = Registry.counter reg ~help name in
+  let h name help = Registry.histogram reg ~help name in
+  {
+    begins =
+      c "tm_stm_begins_total" "Transaction attempts started (one per retry)";
+    reads = c "tm_stm_reads_total" "Validated transactional reads";
+    commits = c "tm_stm_commits_total" "Transaction attempts that committed";
+    aborts = c "tm_stm_aborts_total" "Transaction attempts that aborted";
+    lock_ns =
+      h "tm_stm_lock_acquire_ns"
+        "Commit-time write-set vlock acquisition latency (write commits)";
+    validate_ns =
+      h "tm_stm_validate_ns"
+        "Commit-time read-set validation latency (write commits)";
+    publish_ns =
+      h "tm_stm_publish_ns"
+        "Commit-time publish-and-release latency (write commits)";
+    commit_ns =
+      h "tm_stm_commit_ns" "Whole-attempt latency of committed attempts";
+    abort_ns = h "tm_stm_abort_ns" "Whole-attempt latency of aborted attempts";
+  }
+
+let probe_of ?(clock = ns_clock) t =
+  {
+    Stm.Tel.now = clock;
+    count =
+      (fun ph ->
+        match ph with
+        | Stm.Tel.Begin -> Instrument.incr t.begins
+        | Stm.Tel.Read -> Instrument.incr t.reads
+        | Stm.Tel.Lock | Stm.Tel.Validate | Stm.Tel.Publish | Stm.Tel.Commit
+        | Stm.Tel.Abort ->
+            ());
+    observe =
+      (fun ph d ->
+        match ph with
+        | Stm.Tel.Lock -> Instrument.observe t.lock_ns d
+        | Stm.Tel.Validate -> Instrument.observe t.validate_ns d
+        | Stm.Tel.Publish -> Instrument.observe t.publish_ns d
+        | Stm.Tel.Commit ->
+            Instrument.incr t.commits;
+            Instrument.observe t.commit_ns d
+        | Stm.Tel.Abort ->
+            Instrument.incr t.aborts;
+            Instrument.observe t.abort_ns d
+        | Stm.Tel.Begin | Stm.Tel.Read -> ());
+  }
+
+let install ?clock reg =
+  let t = register reg in
+  Stm.Tel.install (probe_of ?clock t);
+  t
+
+let uninstall = Stm.Tel.uninstall

@@ -1,0 +1,38 @@
+(** Instrumenting the real STM: an {!Tm_stm.Stm.Tel} probe feeding the
+    registry.
+
+    Registers [tm_stm_begins_total] / [tm_stm_reads_total] /
+    [tm_stm_commits_total] / [tm_stm_aborts_total] counters and
+    nanosecond phase-latency histograms [tm_stm_lock_acquire_ns] /
+    [tm_stm_validate_ns] / [tm_stm_publish_ns] / [tm_stm_commit_ns] /
+    [tm_stm_abort_ns], then arms the probe.  While disarmed the STM hot
+    path pays one atomic flag read per event; armed, each event is a
+    few sharded atomic RMWs plus two monotonic clock reads per timed
+    phase. *)
+
+type t = {
+  begins : Instrument.counter;
+  reads : Instrument.counter;
+  commits : Instrument.counter;
+  aborts : Instrument.counter;
+  lock_ns : Instrument.histogram;
+  validate_ns : Instrument.histogram;
+  publish_ns : Instrument.histogram;
+  commit_ns : Instrument.histogram;
+  abort_ns : Instrument.histogram;
+}
+
+val ns_clock : unit -> int
+(** CLOCK_MONOTONIC in nanoseconds (bechamel's stubs). *)
+
+val register : Registry.t -> t
+(** Register the instruments without arming the probe. *)
+
+val probe_of : ?clock:(unit -> int) -> t -> Tm_stm.Stm.Tel.probe
+(** The probe feeding [t]; [clock] defaults to {!ns_clock}. *)
+
+val install : ?clock:(unit -> int) -> Registry.t -> t
+(** {!register} + {!Tm_stm.Stm.Tel.install}. *)
+
+val uninstall : unit -> unit
+(** Disarm the global probe ({!Tm_stm.Stm.Tel.uninstall}). *)

@@ -378,6 +378,13 @@ let test_metrics_histogram_edges () =
     (M.hist_bucket_label (last - 1));
   Alcotest.(check string) "overflow label" "8192+" (M.hist_bucket_label last)
 
+let test_metrics_histogram_empty_pp () =
+  (* A sample-free histogram renders as "(empty)", not a zero-bar chart
+     or a division by zero. *)
+  Alcotest.(check string)
+    "empty histogram prints (empty)" "(empty)"
+    (Fmt.str "%a" Tm_sim.Metrics.pp_histogram Tm_sim.Metrics.hist_empty)
+
 let test_metrics_hist_merge_laws () =
   let module M = Tm_sim.Metrics in
   let of_list vs = List.fold_left M.hist_add M.hist_empty vs in
@@ -626,6 +633,8 @@ let () =
           Alcotest.test_case "histogram buckets" `Quick test_metrics_histogram;
           Alcotest.test_case "histogram edge cases" `Quick
             test_metrics_histogram_edges;
+          Alcotest.test_case "empty histogram pretty-prints" `Quick
+            test_metrics_histogram_empty_pp;
           Alcotest.test_case "hist_merge monoid laws" `Quick
             test_metrics_hist_merge_laws;
           Alcotest.test_case "of_outcome" `Quick test_metrics_of_outcome;

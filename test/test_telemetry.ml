@@ -1,0 +1,288 @@
+(* Tests for the telemetry subsystem: sharded instruments under real
+   domains, histogram quantile properties, the OpenMetrics exposition
+   round-tripped through its own parser, liveness-gauge class
+   transitions, and the byte-determinism of step-clock JSONL export. *)
+
+module I = Tm_telemetry.Instrument
+module R = Tm_telemetry.Registry
+module E = Tm_telemetry.Export
+module L = Tm_telemetry.Liveness_gauge
+
+(* ------------------------------------------------------------------ *)
+(* Instruments. *)
+
+let test_counter_sharded () =
+  let c = I.counter () in
+  let n = 25_000 in
+  let ds =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to n do
+              I.incr c
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "sum over shards" (4 * n) (I.value c);
+  I.add c 5;
+  Alcotest.(check int) "add lands too" ((4 * n) + 5) (I.value c)
+
+let test_histogram_sharded () =
+  let h = I.histogram () in
+  let n = 10_000 in
+  let ds =
+    List.init 4 (fun k ->
+        Domain.spawn (fun () ->
+            for i = 1 to n do
+              I.observe h ((i mod 1000) + k)
+            done))
+  in
+  List.iter Domain.join ds;
+  let s = I.hist_snapshot h in
+  Alcotest.(check int) "count sums the shards" (4 * n) s.I.count;
+  Alcotest.(check int) "bucket counts sum to count" (4 * n)
+    (Array.fold_left ( + ) 0 s.I.buckets);
+  Alcotest.(check int) "max survives the merge" 1002 s.I.max_sample
+
+let test_buckets () =
+  Alcotest.(check int) "0 in bucket 0" 0 (I.bucket_of 0);
+  Alcotest.(check int) "negatives in bucket 0" 0 (I.bucket_of (-3));
+  Alcotest.(check int) "1 in bucket 1" 1 (I.bucket_of 1);
+  Alcotest.(check int) "2 in bucket 2" 2 (I.bucket_of 2);
+  Alcotest.(check int) "3 in bucket 2" 2 (I.bucket_of 3);
+  Alcotest.(check int) "4 in bucket 3" 3 (I.bucket_of 4);
+  Alcotest.(check int) "max_int overflows" (I.hist_buckets - 1)
+    (I.bucket_of max_int);
+  (* Every value is within its bucket's bounds. *)
+  List.iter
+    (fun v ->
+      let k = I.bucket_of v in
+      Alcotest.(check bool)
+        (Fmt.str "%d <= upper(%d)" v k)
+        true
+        (v <= I.bucket_upper k);
+      if k > 0 then
+        Alcotest.(check bool)
+          (Fmt.str "%d > upper(%d)" v (k - 1))
+          true
+          (v > I.bucket_upper (k - 1)))
+    [ 0; 1; 2; 3; 7; 8; 100; 4095; 4096; 1_000_000_000 ]
+
+let test_pp_hsnap_empty () =
+  let h = I.histogram ~shards:1 () in
+  Alcotest.(check string)
+    "empty snapshot prints (empty)" "(empty)"
+    (Fmt.str "%a" I.pp_hsnap (I.hist_snapshot h))
+
+let prop_quantiles =
+  QCheck.Test.make ~count:300
+    ~name:"histogram quantiles: ordered, bounded by max, count conserved"
+    QCheck.(list_of_size Gen.(1 -- 200) (int_bound 2_000_000))
+    (fun samples ->
+      let h = I.histogram ~shards:1 () in
+      List.iter (I.observe h) samples;
+      let s = I.hist_snapshot h in
+      let q p = I.quantile s p in
+      s.I.count = List.length samples
+      && s.I.sum = List.fold_left ( + ) 0 samples
+      && s.I.max_sample = List.fold_left max 0 samples
+      && Array.fold_left ( + ) 0 s.I.buckets = s.I.count
+      && 0 <= q 0.5
+      && q 0.5 <= q 0.9
+      && q 0.9 <= q 0.99
+      && q 0.99 <= s.I.max_sample)
+
+let test_absorb () =
+  (* Folding a 15-bucket Tm_sim.Metrics histogram into a 32-bucket
+     telemetry one preserves count, sum and max. *)
+  let src =
+    List.fold_left Tm_sim.Metrics.hist_add Tm_sim.Metrics.hist_empty
+      [ 0; 1; 5; 100; 9000 ]
+  in
+  let h = I.histogram ~shards:1 () in
+  I.absorb h ~buckets:src.Tm_sim.Metrics.buckets ~sum:src.Tm_sim.Metrics.sum
+    ~max_sample:src.Tm_sim.Metrics.max_sample;
+  let s = I.hist_snapshot h in
+  Alcotest.(check int) "count" 5 s.I.count;
+  Alcotest.(check int) "sum" 9106 s.I.sum;
+  Alcotest.(check int) "max" 9000 s.I.max_sample
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics round-trip. *)
+
+let test_openmetrics_roundtrip () =
+  let reg = R.create () in
+  let c =
+    R.counter reg ~shards:1
+      ~labels:[ ("tm", "tl2") ]
+      ~help:"ops" "tm_test_ops_total"
+  in
+  let g = R.gauge reg ~init:7 ~help:"width" "tm_test_width" in
+  let h = R.histogram reg ~shards:1 ~help:"latency" "tm_test_lat_ns" in
+  let st =
+    R.state reg ~key:"class"
+      ~states:[| "idle"; "busy" |]
+      ~help:"mode" "tm_test_mode"
+  in
+  I.add c 42;
+  List.iter (I.observe h) [ 1; 2; 3; 1000 ];
+  R.set_state st "busy";
+  ignore g;
+  let text = E.to_openmetrics (R.scrape reg ~ts:5) in
+  Alcotest.(check bool) "terminated by # EOF" true
+    (String.length text >= 6
+    && String.sub text (String.length text - 6) 6 = "# EOF\n");
+  let series = E.parse_openmetrics text in
+  let value name labels =
+    match
+      List.find_opt
+        (fun s -> s.E.se_name = name && s.E.se_labels = labels)
+        series
+    with
+    | Some s -> s.E.se_value
+    | None -> Alcotest.failf "series %s not found" name
+  in
+  Alcotest.(check (float 0.)) "counter" 42. (value "tm_test_ops_total" [ ("tm", "tl2") ]);
+  Alcotest.(check (float 0.)) "gauge" 7. (value "tm_test_width" []);
+  Alcotest.(check (float 0.)) "hist count" 4. (value "tm_test_lat_ns_count" []);
+  Alcotest.(check (float 0.)) "hist sum" 1006. (value "tm_test_lat_ns_sum" []);
+  Alcotest.(check (float 0.)) "+Inf bucket is the count" 4.
+    (value "tm_test_lat_ns_bucket" [ ("le", "+Inf") ]);
+  Alcotest.(check (float 0.)) "current state is 1" 1.
+    (value "tm_test_mode" [ ("class", "busy") ]);
+  Alcotest.(check (float 0.)) "other state is 0" 0.
+    (value "tm_test_mode" [ ("class", "idle") ]);
+  (* The cumulative bucket series is monotone. *)
+  let buckets =
+    List.filter (fun s -> s.E.se_name = "tm_test_lat_ns_bucket") series
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a.E.se_value <= b.E.se_value && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "cumulative buckets are monotone" true
+    (monotone buckets)
+
+(* ------------------------------------------------------------------ *)
+(* The liveness gauge. *)
+
+let test_liveness_transitions () =
+  let ops = ref 0 and trycs = ref 0 and commits = ref 0 and aborts = ref 0 in
+  let reg = R.create () in
+  let src =
+    L.source
+      ~ops:(fun () -> !ops)
+      ~trycs:(fun () -> !trycs)
+      ~commits:(fun () -> !commits)
+      ~aborts:(fun () -> !aborts)
+  in
+  let t = L.create reg ~sources:[| src |] in
+  let observed () =
+    let snap = R.scrape reg ~ts:0 in
+    ( Option.get
+        (R.sample_state snap ~name:"tm_liveness_class"
+           ~labels:[ ("domain", "0") ]),
+      Option.get
+        (R.sample_num snap ~name:"tm_liveness_correct"
+           ~labels:[ ("domain", "0") ]) )
+  in
+  let step msg expect_cls expect_correct =
+    ignore (L.update t);
+    let cls, correct = observed () in
+    Alcotest.(check string) (msg ^ " class") expect_cls cls;
+    Alcotest.(check int) (msg ^ " correct") expect_correct correct
+  in
+  (* Healthy interval: everything advances. *)
+  ops := 100;
+  trycs := 10;
+  commits := 10;
+  step "healthy" "progressing" 1;
+  (* Commits stall while aborts climb: starving, but still correct. *)
+  ops := 300;
+  trycs := 50;
+  aborts := 40;
+  step "stalled commits" "starving" 1;
+  (* Nothing advances at all: crashed. *)
+  step "frozen counters" "crashed" 0;
+  (* Active but never trying to commit and never aborted: parasitic. *)
+  ops := 400;
+  step "reads only" "parasitic" 0;
+  Alcotest.(check bool) "current mirrors the stateset" true
+    (Tm_liveness.Process_class.equal_cls (L.current t).(0)
+       Tm_liveness.Process_class.Parasitic)
+
+(* ------------------------------------------------------------------ *)
+(* Step-clock JSONL determinism. *)
+
+let jsonl_of_run () =
+  let entry =
+    match Tm_impl.Registry.find "tl2" with
+    | Some e -> e
+    | None -> Alcotest.fail "tl2 not registered"
+  in
+  let spec =
+    Tm_sim.Runner.spec ~nprocs:3 ~steps:600 ~seed:7
+      ~sched:Tm_sim.Runner.Uniform ()
+  in
+  let buf = Buffer.create 4096 in
+  let reg = R.create () in
+  let pub =
+    Tm_telemetry.Sim_pub.create
+      ~consumers:
+        [
+          (fun s ->
+            Buffer.add_string buf (E.to_jsonl s);
+            Buffer.add_char buf '\n');
+        ]
+      ~nprocs:3 reg
+  in
+  let o =
+    Tm_sim.Runner.run ~on_event:(Tm_telemetry.Sim_pub.hook pub) entry spec
+  in
+  ignore
+    (Tm_telemetry.Sim_pub.finish pub
+       ~ts:(Tm_history.History.length o.Tm_sim.Runner.history));
+  Buffer.contents buf
+
+let test_jsonl_deterministic () =
+  let a = jsonl_of_run () and b = jsonl_of_run () in
+  Alcotest.(check bool) "time series is non-trivial" true
+    (String.length a > 100);
+  Alcotest.(check string) "two runs, same bytes" a b;
+  (* Step-clock timestamps only: the last line's ts is the history
+     length, not wall time. *)
+  Alcotest.(check bool) "first scrape at ts 0" true
+    (String.length a >= 8 && String.sub a 0 8 = {|{"ts":0,|})
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "tm_telemetry"
+    [
+      ( "instruments",
+        [
+          Alcotest.test_case "counter sharded over 4 domains" `Quick
+            test_counter_sharded;
+          Alcotest.test_case "histogram sharded over 4 domains" `Quick
+            test_histogram_sharded;
+          Alcotest.test_case "bucket bounds" `Quick test_buckets;
+          Alcotest.test_case "empty snapshot pretty-prints" `Quick
+            test_pp_hsnap_empty;
+          Alcotest.test_case "absorb a Metrics histogram" `Quick test_absorb;
+          QCheck_alcotest.to_alcotest prop_quantiles;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "openmetrics round-trip" `Quick
+            test_openmetrics_roundtrip;
+        ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "class transitions" `Quick
+            test_liveness_transitions;
+        ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "step-clock series is byte-deterministic"
+            `Quick test_jsonl_deterministic;
+        ] );
+    ]
