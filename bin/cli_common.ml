@@ -59,6 +59,29 @@ let scenario_conv =
   in
   Arg.conv (parse, Fmt.string)
 
+let algo_conv : Tm_stm.Stm.Algo.t Arg.conv =
+  let parse s =
+    match Tm_stm.Stm.Algo.of_string s with
+    | Ok a -> Ok a
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf a -> Fmt.string ppf (Tm_stm.Stm.Algo.name a))
+
+let algo_arg ?(default = Tm_stm.Stm.Algo.Tl2) () =
+  Arg.(
+    value
+    & opt algo_conv default
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:
+          (Fmt.str
+             "STM algorithm to run: %s."
+             (String.concat ", "
+                (List.map
+                   (fun a ->
+                     Fmt.str "$(b,%s) (%s)" (Tm_stm.Stm.Algo.name a)
+                       (Tm_stm.Stm.Algo.progress_label a))
+                   Tm_stm.Stm.Algo.all))))
+
 (* ---- output-format flags ---- *)
 
 (* One table/json converter for every subcommand that renders a document

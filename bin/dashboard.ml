@@ -42,8 +42,12 @@ let render ~plain ~plan ~frame ~frames ~period ~prev snap =
   let rate cur pre = float (max 0 (cur - pre)) /. period in
   let dsnap name d = num snap name d in
   let dprev name d = match prev with Some p -> num p name d | None -> 0 in
-  Fmt.pr "tmlive top — chaos %s seed=%d domains=%d    frame %d/%d  ts=%dms@."
-    plan.Plan.scenario plan.Plan.seed nd frame frames snap.Tel.Registry.ts;
+  Fmt.pr
+    "tmlive top — chaos %s algo=%s seed=%d domains=%d    frame %d/%d  \
+     ts=%dms@."
+    plan.Plan.scenario
+    (Tm_stm.Stm.Algo.name plan.Plan.algo)
+    plan.Plan.seed nd frame frames snap.Tel.Registry.ts;
   Fmt.pr "@.%-7s %-22s %10s %10s %8s %8s %-12s@." "domain" "fault" "commit/s"
     "abort/s" "commits" "faults" "class";
   for d = 0 to nd - 1 do
@@ -84,9 +88,9 @@ let render ~plain ~plan ~frame ~frames ~period ~prev snap =
     phase_rows;
   Fmt.pr "%!"
 
-let run ~scenario ~seed ~domains ~tvars ~period ~frames ~plain ~telemetry
-    ~telemetry_format =
-  match Plan.make ~scenario ~seed ~domains with
+let run ~algo ~scenario ~seed ~domains ~tvars ~period ~frames ~plain
+    ~telemetry ~telemetry_format =
+  match Plan.make ~algo ~scenario ~seed ~domains () with
   | Error m ->
       Fmt.epr "error: %s@." m;
       exit 2

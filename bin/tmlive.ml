@@ -902,8 +902,8 @@ let analyze_cmd =
 (* ------------------------------------------------------------------ *)
 
 let chaos_cmd =
-  let run list_scenarios scenario seed domains tvars warmup window format out
-      trace_file telemetry telemetry_format =
+  let run list_scenarios algo scenario seed domains tvars warmup window format
+      out trace_file telemetry telemetry_format =
     if list_scenarios then
       List.iter
         (fun s ->
@@ -911,7 +911,7 @@ let chaos_cmd =
             (Option.value ~default:"" (Tm_chaos.Plan.scenario_doc s)))
         Tm_chaos.Plan.scenarios
     else
-      match Tm_chaos.Plan.make ~scenario ~seed ~domains with
+      match Tm_chaos.Plan.make ~algo ~scenario ~seed ~domains () with
       | Error m ->
           Fmt.epr "error: %s@." m;
           exit 2
@@ -940,7 +940,11 @@ let chaos_cmd =
           (match trace_file with
           | None -> ()
           | Some file ->
-              let label = Fmt.str "chaos/%s/seed=%d" scenario seed in
+              let label =
+                Fmt.str "chaos/%s/%s/seed=%d" scenario
+                  (Tm_stm.Stm.Algo.name algo)
+                  seed
+              in
               let events =
                 metadata_event ~pid:0 label :: o.Tm_chaos.Runner.o_events
               in
@@ -1023,14 +1027,15 @@ let chaos_cmd =
           Figure-2 classes (crashed / parasitic / starving / progressing).  \
           Exits 1 on any verdict mismatch.")
     Term.(
-      const run $ list_scenarios $ scenario $ seed $ domains $ tvars $ warmup
-      $ window $ format $ out $ trace_file $ telemetry $ telemetry_format)
+      const run $ list_scenarios $ algo_arg () $ scenario $ seed $ domains
+      $ tvars $ warmup $ window $ format $ out $ trace_file $ telemetry
+      $ telemetry_format)
 
 let top_cmd =
-  let run scenario seed domains tvars period frames plain telemetry
+  let run algo scenario seed domains tvars period frames plain telemetry
       telemetry_format =
-    Dashboard.run ~scenario ~seed ~domains ~tvars ~period ~frames ~plain
-      ~telemetry ~telemetry_format
+    Dashboard.run ~algo ~scenario ~seed ~domains ~tvars ~period ~frames
+      ~plain ~telemetry ~telemetry_format
   in
   let scenario =
     Arg.(
@@ -1081,8 +1086,8 @@ let top_cmd =
           injected-fault counters, STM phase-latency percentiles and each \
           domain's current Figure-2 class every scrape period.")
     Term.(
-      const run $ scenario $ seed $ domains $ tvars $ period $ frames $ plain
-      $ telemetry $ telemetry_format)
+      const run $ algo_arg () $ scenario $ seed $ domains $ tvars $ period
+      $ frames $ plain $ telemetry $ telemetry_format)
 
 let () =
   let info =

@@ -33,6 +33,9 @@ type t = private {
   scenario : string;
   seed : int;
   domains : int;
+  algo : Tm_stm.Stm.Algo.t;
+      (** which STM core the run drives — the expectations below are a
+          function of it *)
   faults : fault array;  (** one per domain, index = domain id *)
   expected : Tm_liveness.Process_class.cls array;  (** one per domain *)
 }
@@ -44,11 +47,26 @@ val scenarios : string list
 val scenario_doc : string -> string option
 (** One-line description of a scenario, for [--list] output. *)
 
-val make : scenario:string -> seed:int -> domains:int -> (t, string) result
-(** [make ~scenario ~seed ~domains] derives the plan.  Errors on an
+val make :
+  ?algo:Tm_stm.Stm.Algo.t ->
+  scenario:string ->
+  seed:int ->
+  domains:int ->
+  unit ->
+  (t, string) result
+(** [make ~scenario ~seed ~domains ()] derives the plan.  Errors on an
     unknown scenario, [domains < 2], or [domains < 3] for ["mixed"].
     Fault parameters are drawn from per-domain generators split off
-    [Prng.create seed], so the plan is a pure function of its inputs. *)
+    [Prng.create seed], so the plan is a pure function of its inputs.
+
+    [algo] (default [Tl2]) selects the STM core and with it the
+    expected Figure-2 class of every domain — the same fault separates
+    the algorithms: a crash holding commit-time ownership starves the
+    peers of every lock-based core but leaves the obstruction-free
+    DSTM core's peers progressing (they steal the abandoned
+    ownerships); a clean crash or a parasitic turn is harmless to every
+    core except the global-lock serializer, whose peers starve behind
+    the stranded or occupied lock. *)
 
 val fault_label : fault -> string
 (** ["healthy"], ["crash@op=93+locks"], ["parasitic@op=41"],

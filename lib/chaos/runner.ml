@@ -117,11 +117,27 @@ exception Stop_worker
 
 (* Worker transactions all write t-variable 0 (plus one other), so every
    pair of domains conflicts: a crashed lock holder necessarily strands
-   the whole peer set.  A parasitic turn instead reads only [mine], a
+   the whole peer set.  A parasitic turn spins forever on [mine], a
    t-variable nobody writes — active forever, never conflicting, never
-   reaching tryC. *)
-let worker ~stop ~shared ~mine ~fault ~ops ~injected ~attempts ~trycs ~commits
-    ~crashed d () =
+   reaching tryC.
+
+   Where the parasitic takeover happens is core-dependent.  Under the
+   non-blocking cores it is a fresh transaction whose read set is only
+   [mine]: reads never block, so the first attempt succeeds and stays
+   active forever — and the read set *must* stay private, because
+   DSTM's per-read read-set revalidation and NOrec's value checks would
+   abort a parasite that had read a shared t-variable some peer keeps
+   writing.  Under the global-lock serializer that fresh transaction
+   would instead have to win an unfair spinlock from a cold start
+   against hot committers, with the facade's backoff growing on every
+   failure — a race it can lose for whole observation windows.  There
+   the takeover happens *inside* a winning transaction: the worker runs
+   its normal body and, once past the onset, simply never reaches tryC
+   — it already holds the serializer, stranding every peer
+   deterministically (prior reads in the set are harmless: the
+   serializer validates nothing). *)
+let worker ~stop ~shared ~mine ~algo ~fault ~parasite_gate ~ops ~injected
+    ~attempts ~trycs ~commits ~crashed d () =
   let slot = Domain.DLS.get dls in
   slot := Some { ds_fault = fault; ds_ops = ops; ds_injected = injected };
   let st = ref (d + 1) in
@@ -129,32 +145,42 @@ let worker ~stop ~shared ~mine ~fault ~ops ~injected ~attempts ~trycs ~commits
   let parasitic_from =
     match fault with Plan.Parasitic { from_op } -> Some from_op | _ -> None
   in
+  let parasitic_now () =
+    match parasitic_from with
+    | Some from -> parasite_gate () && Tel.Instrument.value ops >= from
+    | None -> false
+  in
+  let parasite_spin () =
+    while true do
+      ignore (Stm.read mine);
+      if Atomic.get stop then raise Stop_worker;
+      Domain.cpu_relax ()
+    done
+  in
+  let in_body_takeover = algo = Stm.Algo.Global_lock in
   (try
      while not (Atomic.get stop) do
-       match parasitic_from with
-       | Some from when Tel.Instrument.value ops >= from ->
-           Stm.atomically (fun () ->
-               Tel.Instrument.incr attempts;
-               while true do
-                 ignore (Stm.read mine);
-                 if Atomic.get stop then raise Stop_worker;
-                 Domain.cpu_relax ()
-               done)
-       | _ ->
-           let r = !st * 48271 mod 0x7FFFFFFF in
-           st := r;
-           let other = 1 + (r mod (n - 1)) in
-           Stm.atomically (fun () ->
-               (* Re-run on every attempt: a permanently starving domain
-                  still gets to observe the stop flag. *)
-               if Atomic.get stop then raise Stop_worker;
-               Tel.Instrument.incr attempts;
-               let v0 = Stm.read shared.(0) in
-               let vo = Stm.read shared.(other) in
-               Stm.write shared.(0) (v0 + 1);
-               Stm.write shared.(other) (vo + 1);
-               Tel.Instrument.incr trycs);
-           Tel.Instrument.incr commits
+       if (not in_body_takeover) && parasitic_now () then
+         Stm.atomically (fun () ->
+             Tel.Instrument.incr attempts;
+             parasite_spin ())
+       else begin
+         let r = !st * 48271 mod 0x7FFFFFFF in
+         st := r;
+         let other = 1 + (r mod (n - 1)) in
+         Stm.atomically (fun () ->
+             (* Re-run on every attempt: a permanently starving domain
+                still gets to observe the stop flag. *)
+             if Atomic.get stop then raise Stop_worker;
+             Tel.Instrument.incr attempts;
+             let v0 = Stm.read shared.(0) in
+             let vo = Stm.read shared.(other) in
+             if in_body_takeover && parasitic_now () then parasite_spin ();
+             Stm.write shared.(0) (v0 + 1);
+             Stm.write shared.(other) (vo + 1);
+             Tel.Instrument.incr trycs);
+         Tel.Instrument.incr commits
+       end
      done
    with
   | Stop_worker -> ()
@@ -219,18 +245,48 @@ let with_session ?(tvars = 4) ?registry (plan : Plan.t) f =
       ses_crashed = crashed;
     }
   in
+  (* Select the plan's core before creating the t-variables (a
+     t-variable belongs to the algorithm that uses it) and restore the
+     previous selection only after the workers are joined. *)
+  let prev_algo = Stm.algo () in
+  Stm.set_algo plan.Plan.algo;
   let shared = Array.init (max 2 tvars) (fun _ -> Stm.tvar 0) in
   let priv = Array.init nd (fun _ -> Stm.tvar 0) in
   let stop = Atomic.make false in
+  (* In scenarios that combine a crasher with a parasite, the parasite's
+     onset waits for the crash to have landed: the expectations read the
+     faults as a causal sequence (crash first, then a parasite appears
+     in the wreckage), and per-domain op clocks cannot order the onsets
+     — under the serializer the eventual winner's clock outruns a
+     starving peer's arbitrarily.  With no crasher in the plan the gate
+     is always open. *)
+  let parasite_gate =
+    match
+      Array.to_list plan.Plan.faults
+      |> List.mapi (fun d f -> (d, f))
+      |> List.find_map (fun (d, f) ->
+             match f with Plan.Crash _ -> Some d | _ -> None)
+    with
+    | None -> fun () -> true
+    | Some cd -> fun () -> Tel.Instrument.gauge_value crashed.(cd) = 1
+  in
   Stm.Chaos.install handler;
   Fun.protect
-    ~finally:(fun () -> Stm.Chaos.uninstall ())
+    ~finally:(fun () ->
+      Stm.Chaos.uninstall ();
+      (* Workers are joined by now: release core-global locks stranded
+         by crashed domains (the serializer, the sequence lock), so a
+         crash run cannot starve every later run of the same core in
+         this process.  Must happen while the plan's core is still the
+         selected one. *)
+      Stm.recover ();
+      Stm.set_algo prev_algo)
     (fun () ->
       let ds =
         List.init nd (fun d ->
             Domain.spawn
-              (worker ~stop ~shared ~mine:priv.(d)
-                 ~fault:plan.Plan.faults.(d) ~ops:ops.(d)
+              (worker ~stop ~shared ~mine:priv.(d) ~algo:plan.Plan.algo
+                 ~fault:plan.Plan.faults.(d) ~parasite_gate ~ops:ops.(d)
                  ~injected:injected.(d) ~attempts:attempts.(d)
                  ~trycs:trycs.(d) ~commits:commits.(d) ~crashed:crashed.(d) d))
       in
@@ -295,6 +351,7 @@ let run ?tvars ?(warmup = 0.05) ?(window = 0.15) ?registry ?on_sample
           [
             ("class", Tev.Str (Pc.cls_label r.rep_observed));
             ("expected", Tev.Str (Pc.cls_label r.rep_expected));
+            ("algo", Tev.Str (Stm.Algo.name plan.Plan.algo));
           ])
       reports
   in
@@ -323,7 +380,9 @@ let pp_report ppf r =
     (if r.rep_crashed then " [crashed]" else "")
 
 let pp_table ppf o =
-  Fmt.pf ppf "@[<v>chaos %s seed=%d domains=%d@," o.o_plan.Plan.scenario
+  Fmt.pf ppf "@[<v>chaos %s algo=%s seed=%d domains=%d@,"
+    o.o_plan.Plan.scenario
+    (Stm.Algo.name o.o_plan.Plan.algo)
     o.o_plan.Plan.seed o.o_plan.Plan.domains;
   List.iter (fun r -> Fmt.pf ppf "%a@," pp_report r) o.o_reports;
   Fmt.pf ppf "verdict: %s@]"
@@ -333,8 +392,11 @@ let pp_table ppf o =
 let to_json o =
   let b = Buffer.create 512 in
   Buffer.add_string b
-    (Fmt.str "{\"scenario\":%S,\"seed\":%d,\"domains\":%d,\"ok\":%b,\"verdicts\":["
-       o.o_plan.Plan.scenario o.o_plan.Plan.seed o.o_plan.Plan.domains o.o_ok);
+    (Fmt.str
+       "{\"scenario\":%S,\"algo\":%S,\"seed\":%d,\"domains\":%d,\"ok\":%b,\"verdicts\":["
+       o.o_plan.Plan.scenario
+       (Stm.Algo.name o.o_plan.Plan.algo)
+       o.o_plan.Plan.seed o.o_plan.Plan.domains o.o_ok);
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_char b ',';

@@ -53,10 +53,14 @@ val session_injected : session -> int -> int
 
 val with_session :
   ?tvars:int -> ?registry:Tm_telemetry.Registry.t -> Plan.t -> (session -> 'a) -> 'a
-(** [with_session plan f] installs the plan's fault handler, spawns one
-    worker domain per plan slot and applies [f] to the live session; on
-    return (or exception) it stops and joins the workers and uninstalls
-    the handler.  [registry] is where the session registers its
+(** [with_session plan f] selects the plan's STM core ([plan.algo],
+    restored after the workers are joined), installs the plan's fault
+    handler, spawns one worker domain per plan slot and applies [f] to
+    the live session; on return (or exception) it stops and joins the
+    workers and uninstalls the handler.  When the plan combines a
+    crasher with a parasite (the mixed scenario) the parasite's onset
+    additionally waits for the crasher to have died, so the faults land
+    in the causal order the expectations describe.  [registry] is where the session registers its
     instruments (default: a fresh private one) — pass a shared registry
     to co-locate chaos counters with e.g. {!Tm_telemetry.Stm_probe}
     phase metrics in one scrape. *)
@@ -109,7 +113,10 @@ val run :
 
     Note: after a crash-holding-locks run the hot t-variables stay
     locked forever by the dead domain — they are private to the run and
-    simply dropped. *)
+    simply dropped.  Core-global lock state stranded by a crash (the
+    global-lock serializer, NOrec's sequence lock) is instead released
+    via [Stm.recover] once the workers are joined, so one crashed run
+    cannot starve later runs of the same core in this process. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** One line: domain, fault, expected/observed classes, counter deltas. *)
@@ -118,7 +125,7 @@ val pp_table : Format.formatter -> outcome -> unit
 
 val to_json : outcome -> string
 (** The verdict document:
-    [{"scenario":...,"seed":...,"domains":...,"ok":...,"verdicts":[...]}]
+    [{"scenario":...,"algo":...,"seed":...,"domains":...,"ok":...,"verdicts":[...]}]
     with stable key order.  Counter fields are informational (real
     multicore counts vary run to run); the classification fields are the
     stable, gateable part. *)

@@ -64,7 +64,8 @@ val counters : ops:int -> trycs:int -> commits:int -> aborts:int -> counters
 val classify_counters :
   first:counters -> last:counters -> Process_class.cls
 (** Window verdict from two samples of monotone counters: no operations
-    at all looks {e crashed}; operations but neither [tryC]s nor aborts
-    looks {e parasitic} (an endless transaction body that never tries to
-    commit); activity without a commit looks {e starving}; otherwise the
-    process is {e progressing}. *)
+    at all looks {e crashed}; operations, no [tryC]s and at most a
+    negligible trickle of aborts (1/64 of the operations — restarts
+    forced on an endless body by a peer descheduled mid-commit are
+    noise, not work) looks {e parasitic}; activity without a commit
+    looks {e starving}; otherwise the process is {e progressing}. *)

@@ -1,457 +1,152 @@
-(* TL2 over OCaml 5 atomics.
+(* The public STM facade over the pluggable algorithm zoo.
 
-   Each t-variable carries a versioned lock word [vlock]: even = unlocked,
-   value is (version << 1); odd = locked by a committing transaction.
-   Readers use the classic seqlock protocol (read vlock, read content, read
-   vlock again) and validate against the transaction's read version.
+   Algorithm-independent machinery lives in [Stm_core] (t-variables,
+   the Trace/Chaos/Tel seams); the four cores live in [Stm_tl2],
+   [Stm_glock], [Stm_dstm] and [Stm_norec].  This module owns what the
+   cores share behaviourally: the per-domain current-transaction slot,
+   the retry loop with randomized exponential backoff, trace attempt
+   spans, Tel Begin/Commit/Abort accounting and the global
+   commit/abort counters — so every algorithm gets identical
+   observability for free. *)
 
-   Type erasure for the heterogeneous read/write sets uses the universal
-   type trick: every t-variable carries its own injection/projection pair
-   built from a locally generated extensible-variant constructor, so no
-   [Obj] is needed. *)
+module Tev = Tm_trace.Trace_event
+module Trace = Stm_core.Trace
+module Chaos = Stm_core.Chaos
+module Tel = Stm_core.Tel
 
-type univ = exn
+type 'a tvar = 'a Stm_core.tvar
 
-type 'a tvar = {
-  id : int;
-  content : 'a Atomic.t;
-  vlock : int Atomic.t;
-  inj : 'a -> univ;
-  proj : univ -> 'a option;
-}
+exception Retry = Stm_core.Retry
 
-let next_id = Atomic.make 0
-let clock = Atomic.make 0
+let tvar = Stm_core.tvar
+
+module Algo = struct
+  type t = Tl2 | Global_lock | Dstm | Norec
+
+  let all = [ Tl2; Global_lock; Dstm; Norec ]
+
+  let name = function
+    | Tl2 -> "tl2"
+    | Global_lock -> "global-lock"
+    | Dstm -> "dstm"
+    | Norec -> "norec"
+
+  let of_string s =
+    match String.lowercase_ascii s with
+    | "tl2" -> Ok Tl2
+    | "global-lock" | "glock" -> Ok Global_lock
+    | "dstm" -> Ok Dstm
+    | "norec" -> Ok Norec
+    | _ ->
+        Error
+          (Fmt.str "unknown algorithm %S (try: %s)" s
+             (String.concat ", " (List.map name all)))
+
+  let progress_label = function
+    | Tl2 -> "progressive"
+    | Global_lock -> "blocking"
+    | Dstm -> "obstruction-free"
+    | Norec -> "commit-serialized"
+
+  let describe = function
+    | Tl2 ->
+        "TL2: global version clock, per-tvar versioned locks, commit-time \
+         validation (progressive)"
+    | Global_lock ->
+        "global-lock: one serializer lock per transaction, no aborts, no \
+         parallelism (blocking)"
+    | Dstm ->
+        "DSTM: revocable ownership records with abort-others stealing \
+         (obstruction-free)"
+    | Norec ->
+        "NOrec: value-based validation under a single sequence lock \
+         (commit-serialized)"
+
+  (* Which Tel phases each core can emit — the per-algorithm phase
+     mapping that keeps telemetry histogram labels truthful.  Begin /
+     Read / Commit / Abort are universal (Begin, Commit and Abort come
+     from the facade's retry loop); the commit-internal phases differ:
+     the global-lock serializer validates nothing, NOrec and DSTM
+     acquire no per-location locks. *)
+  let tel_phases = function
+    | Tl2 ->
+        [
+          Tel.Begin;
+          Tel.Read;
+          Tel.Lock;
+          Tel.Validate;
+          Tel.Publish;
+          Tel.Commit;
+          Tel.Abort;
+        ]
+    | Global_lock ->
+        [ Tel.Begin; Tel.Read; Tel.Lock; Tel.Publish; Tel.Commit; Tel.Abort ]
+    | Dstm | Norec ->
+        [
+          Tel.Begin; Tel.Read; Tel.Validate; Tel.Publish; Tel.Commit; Tel.Abort;
+        ]
+
+  (* Which Chaos points each core fires (same truthfulness contract).
+     Notably: global-lock fires [Read] only after the serializer is
+     held (an in-transaction crash deterministically strands it) and
+     fires [Lock_acquire] while holding nothing (so a starving peer's
+     op clock keeps ticking); NOrec never fires [Lock_acquire]. *)
+  let chaos_points = function
+    | Tl2 | Dstm ->
+        [
+          Chaos.Read;
+          Chaos.Validate;
+          Chaos.Lock_acquire;
+          Chaos.Pre_commit;
+          Chaos.Post_commit;
+        ]
+    | Global_lock ->
+        [ Chaos.Read; Chaos.Lock_acquire; Chaos.Pre_commit; Chaos.Post_commit ]
+    | Norec ->
+        [ Chaos.Read; Chaos.Validate; Chaos.Pre_commit; Chaos.Post_commit ]
+end
+
+let core_of : Algo.t -> (module Stm_core.S) = function
+  | Algo.Tl2 -> (module Stm_tl2)
+  | Algo.Global_lock -> (module Stm_glock)
+  | Algo.Dstm -> (module Stm_dstm)
+  | Algo.Norec -> (module Stm_norec)
+
+let selected_algo = Atomic.make Algo.Tl2
+let selected : (module Stm_core.S) Atomic.t = Atomic.make (core_of Algo.Tl2)
+
+let set_algo a =
+  Atomic.set selected_algo a;
+  Atomic.set selected (core_of a)
+
+let algo () = Atomic.get selected_algo
+
+let with_algo a f =
+  let prev = algo () in
+  set_algo a;
+  Fun.protect ~finally:(fun () -> set_algo prev) f
+
 let commit_count = Atomic.make 0
 let abort_count = Atomic.make 0
 
-module Tev = Tm_trace.Trace_event
-
-(* Runtime tracing.  The hot path pays one [Atomic.get] on a global flag
-   per potential event; when the flag is false no event is even
-   constructed.  When on, each domain writes into its own fixed-size ring
-   (single-writer, no lock on the emit path) registered in a global list
-   so [events] can collect them afterwards.  Timestamps come from a global
-   emission sequence — they give a total order of emissions, not wall
-   time. *)
-module Trace = struct
-  type mode = Off | Null | Rings of int
-
-  let tracing = Atomic.make false
-  let mode = Atomic.make Off
-  let generation = Atomic.make 0
-  let seq = Atomic.make 0
-  let emitted_count = Atomic.make 0
-  let registry_mu = Mutex.create ()
-  let registry : Tm_trace.Ring.t list ref = ref []
-
-  let slot : (int * Tm_trace.Ring.t) option ref Domain.DLS.key =
-    Domain.DLS.new_key (fun () -> ref None)
-
-  let default_capacity = 4096
-
-  let reset_locked m =
-    registry := [];
-    Atomic.incr generation;
-    Atomic.set seq 0;
-    Atomic.set emitted_count 0;
-    Atomic.set mode m;
-    Atomic.set tracing (m <> Off)
-
-  let start ?(capacity = default_capacity) () =
-    if capacity < 1 then invalid_arg "Stm.Trace.start: capacity must be positive";
-    Mutex.protect registry_mu (fun () -> reset_locked (Rings capacity))
-
-  let start_null () = Mutex.protect registry_mu (fun () -> reset_locked Null)
-
-  let stop () =
-    Mutex.protect registry_mu (fun () ->
-        Atomic.set tracing false;
-        Atomic.set mode Off)
-
-  let is_on () = Atomic.get tracing
-
-  (* The per-domain ring is cached in DLS together with the generation it
-     belongs to, so a stale ring from a previous [start] is never written
-     into the current session. *)
-  let ring_for_domain gen =
-    let r = Domain.DLS.get slot in
-    match !r with
-    | Some (g, ring) when g = gen -> Some ring
-    | _ -> (
-        match Atomic.get mode with
-        | Rings cap ->
-            let ring = Tm_trace.Ring.create ~capacity:cap in
-            let registered =
-              Mutex.protect registry_mu (fun () ->
-                  if Atomic.get generation = gen then begin
-                    registry := ring :: !registry;
-                    true
-                  end
-                  else false)
-            in
-            if registered then begin
-              r := Some (gen, ring);
-              Some ring
-            end
-            else None
-        | Off | Null -> None)
-
-  let emit cat name phase args =
-    let ts = Atomic.fetch_and_add seq 1 in
-    let tid = (Domain.self () :> int) in
-    let e = { Tev.ts; pid = 0; tid; cat; name; phase; args } in
-    Atomic.incr emitted_count;
-    match Atomic.get mode with
-    | Off | Null -> ()
-    | Rings _ -> (
-        match ring_for_domain (Atomic.get generation) with
-        | Some ring -> Tm_trace.Ring.add ring e
-        | None -> ())
-
-  let events () =
-    let evs =
-      Mutex.protect registry_mu (fun () ->
-          List.concat_map Tm_trace.Ring.to_list !registry)
-    in
-    List.sort (fun (a : Tev.t) b -> Int.compare a.ts b.ts) evs
-
-  let dropped () =
-    Mutex.protect registry_mu (fun () ->
-        List.fold_left (fun acc r -> acc + Tm_trace.Ring.dropped r) 0 !registry)
-
-  let emitted () = Atomic.get emitted_count
-end
-
-let tvar (type a) (init : a) : a tvar =
-  let module M = struct
-    exception E of a
-  end in
-  {
-    id = Atomic.fetch_and_add next_id 1;
-    content = Atomic.make init;
-    vlock = Atomic.make 0;
-    inj = (fun x -> M.E x);
-    proj = (function M.E x -> Some x | _ -> None);
-  }
-
-exception Retry
-exception Conflict
-
-(* Deterministic fault injection.  Same zero-cost discipline as [Trace]:
-   every interception point costs one [Atomic.get] on [armed] when no
-   plan is installed, and only consults the handler when armed.  The
-   handler decides per point: proceed, abort the attempt (a normal
-   conflict, counted and retried), stall (bounded spinning), or crash.
-   [Crashed] escapes [atomically] through its generic exception arm
-   without releasing any commit vlocks the domain holds — a crash at
-   [Pre_commit] is therefore the paper's crashed-lock-holder adversary,
-   observable on real domains. *)
-module Chaos = struct
-  type point = Read | Validate | Lock_acquire | Pre_commit | Post_commit
-  type action = Proceed | Abort | Stall of int | Crash
-
-  exception Crashed
-
-  let null_handler : point -> action = fun _ -> Proceed
-  let armed = Atomic.make false
-  let handler = Atomic.make null_handler
-
-  let install f =
-    Atomic.set handler f;
-    Atomic.set armed true
-
-  let uninstall () =
-    Atomic.set armed false;
-    Atomic.set handler null_handler
-
-  let is_armed () = Atomic.get armed
-
-  let point_label = function
-    | Read -> "read"
-    | Validate -> "validate"
-    | Lock_acquire -> "lock-acquire"
-    | Pre_commit -> "pre-commit"
-    | Post_commit -> "post-commit"
-
-  let stall n =
-    for _ = 1 to n do
-      Domain.cpu_relax ()
-    done
-
-  let decide p = if Atomic.get armed then (Atomic.get handler) p else Proceed
-
-  (* Interpretation for points where the domain holds no commit locks;
-     [commit] interprets actions itself so an [Abort] can back out the
-     vlocks it already holds (and a [Crash] deliberately does not). *)
-  let fire p =
-    match decide p with
-    | Proceed -> ()
-    | Stall n -> stall n
-    | Abort -> raise Conflict
-    | Crash -> raise Crashed
-end
-
-(* Always-on telemetry.  Third user of the zero-cost discipline of
-   [Trace] and [Chaos]: every instrumented event costs one [Atomic.get]
-   on [armed] while no probe is installed, and the probe record is only
-   loaded once armed.  The probe supplies its own clock so this module
-   stays clock-library-agnostic; [now] must be monotone and its unit is
-   whatever the installer counts in (tm_telemetry installs nanoseconds).
-   Durations handed to [observe] are [now] deltas in that unit. *)
-module Tel = struct
-  type phase = Begin | Read | Lock | Validate | Publish | Commit | Abort
-
-  type probe = {
-    now : unit -> int;
-    count : phase -> unit;
-    observe : phase -> int -> unit;
-  }
-
-  let null_probe =
-    { now = (fun () -> 0); count = (fun _ -> ()); observe = (fun _ _ -> ()) }
-
-  let armed = Atomic.make false
-  let probe = Atomic.make null_probe
-
-  let install p =
-    Atomic.set probe p;
-    Atomic.set armed true
-
-  let uninstall () =
-    Atomic.set armed false;
-    Atomic.set probe null_probe
-
-  let is_armed () = Atomic.get armed
-
-  let phase_label = function
-    | Begin -> "begin"
-    | Read -> "read"
-    | Lock -> "lock-acquire"
-    | Validate -> "validate"
-    | Publish -> "publish"
-    | Commit -> "commit"
-    | Abort -> "abort"
-end
-
-(* Write-set entry: the pending value plus closures for the commit
-   protocol (lock, validate-ownership, publish, unlock). *)
-type wentry = {
-  w_id : int;
-  mutable value : univ;
-  try_lock : unit -> bool;
-  unlock : unit -> unit;
-  publish : univ -> int -> unit;
-}
-
-type rentry = { r_id : int; check : rv:int -> owned:(int -> bool) -> bool }
-
-type txn = {
-  rv : int;
-  mutable reads : rentry list;
-  mutable writes : wentry list;  (** unordered; sorted by id at commit *)
-}
-
-let current : txn option ref Domain.DLS.key =
+let current : Stm_core.packed option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
-
-let locked v = v land 1 = 1
-let version_of v = v lsr 1
-
-let read_vlock tv = Atomic.get tv.vlock
-
-let try_lock_tvar tv =
-  let v = read_vlock tv in
-  (not (locked v)) && Atomic.compare_and_set tv.vlock v (v lor 1)
-
-let unlock_tvar tv =
-  let v = read_vlock tv in
-  if locked v then Atomic.set tv.vlock (v land lnot 1)
-
-let publish_tvar (type a) (tv : a tvar) u wv =
-  (match tv.proj u with
-  | Some x -> Atomic.set tv.content x
-  | None -> assert false);
-  Atomic.set tv.vlock (wv lsl 1)
-
-let wentry_of tv =
-  {
-    w_id = tv.id;
-    value = tv.inj (Atomic.get tv.content) (* overwritten before use *);
-    try_lock = (fun () -> try_lock_tvar tv);
-    unlock = (fun () -> unlock_tvar tv);
-    publish = (fun u wv -> publish_tvar tv u wv);
-  }
-
-let rentry_of tv seen_version =
-  {
-    r_id = tv.id;
-    check =
-      (fun ~rv ~owned ->
-        let v = read_vlock tv in
-        let ok_lock = (not (locked v)) || owned tv.id in
-        ok_lock && version_of v <= rv && version_of v = seen_version);
-  }
 
 let in_transaction () = Option.is_some !(Domain.DLS.get current)
 
-(* Direct (non-transactional) atomic snapshot read. *)
-let rec snapshot_read tv =
-  let v1 = read_vlock tv in
-  if locked v1 then begin
-    Domain.cpu_relax ();
-    snapshot_read tv
-  end
-  else
-    let x = Atomic.get tv.content in
-    if read_vlock tv = v1 then x
-    else begin
-      Domain.cpu_relax ();
-      snapshot_read tv
-    end
-
 let read (type a) (tv : a tvar) : a =
   match !(Domain.DLS.get current) with
-  | None -> snapshot_read tv
-  | Some txn -> (
-      (* Read-own-write. *)
-      match List.find_opt (fun w -> w.w_id = tv.id) txn.writes with
-      | Some w -> (
-          match tv.proj w.value with Some x -> x | None -> assert false)
-      | None ->
-          if Atomic.get Chaos.armed then Chaos.fire Chaos.Read;
-          if Atomic.get Tel.armed then (Atomic.get Tel.probe).Tel.count Tel.Read;
-          let v1 = read_vlock tv in
-          if locked v1 || version_of v1 > txn.rv then raise Conflict;
-          let x = Atomic.get tv.content in
-          if read_vlock tv <> v1 then raise Conflict;
-          txn.reads <- rentry_of tv (version_of v1) :: txn.reads;
-          x)
+  | Some (Stm_core.P ((module C), t)) -> C.read t tv
+  | None ->
+      let (module C) = Atomic.get selected in
+      C.direct_read tv
 
 let write (type a) (tv : a tvar) (x : a) : unit =
   match !(Domain.DLS.get current) with
+  | Some (Stm_core.P ((module C), t)) -> C.write t tv x
   | None -> invalid_arg "Stm.write outside a transaction"
-  | Some txn -> (
-      match List.find_opt (fun w -> w.w_id = tv.id) txn.writes with
-      | Some w -> w.value <- tv.inj x
-      | None ->
-          let w = wentry_of tv in
-          w.value <- tv.inj x;
-          txn.writes <- w :: txn.writes)
 
 let retry () = raise Retry
-
-let commit txn =
-  match txn.writes with
-  | [] -> () (* read-only: reads were validated against rv as they happened *)
-  | writes ->
-      let tr = Atomic.get Trace.tracing in
-      let tel = Atomic.get Tel.armed in
-      let tp = if tel then Atomic.get Tel.probe else Tel.null_probe in
-      let ws =
-        List.sort_uniq (fun a b -> Int.compare a.w_id b.w_id) writes
-      in
-      (* Locks held so far, newest first.  Commit-scoped so both the
-         normal conflict back-outs and a chaos [Abort] at any point can
-         release exactly what is held. *)
-      let acquired = ref [] in
-      let release_all order =
-        List.iter
-          (fun (w : wentry) ->
-            (* Emit release before the real unlock: once the vlock is
-               even another domain can acquire it, and its acquire
-               event must sequence after ours. *)
-            if tr then
-              Trace.emit Tev.Lock "release" Tev.Instant
-                [ ("tvar", Tev.Int w.w_id) ];
-            w.unlock ())
-          (order !acquired)
-      in
-      (* Chaos interception inside commit: [Abort] backs out held locks
-         like any conflict; [Crash] deliberately does not — a crashed
-         lock holder is the experiment. *)
-      let chaos p =
-        if Atomic.get Chaos.armed then
-          match Chaos.decide p with
-          | Chaos.Proceed -> ()
-          | Chaos.Stall n -> Chaos.stall n
-          | Chaos.Abort ->
-              release_all Fun.id;
-              raise Conflict
-          | Chaos.Crash -> raise Chaos.Crashed
-      in
-      (* Lock in canonical order; back out on failure. *)
-      let rec lock_all k = function
-        | [] -> ()
-        | w :: rest ->
-            chaos Chaos.Lock_acquire;
-            if w.try_lock () then begin
-              if tr then
-                Trace.emit Tev.Lock "acquire" Tev.Instant
-                  [ ("tvar", Tev.Int w.w_id); ("order", Tev.Int k) ];
-              acquired := w :: !acquired;
-              lock_all (k + 1) rest
-            end
-            else begin
-              if tr then
-                Trace.emit Tev.Lock "busy" Tev.Instant
-                  [ ("tvar", Tev.Int w.w_id) ];
-              release_all Fun.id;
-              raise Conflict
-            end
-      in
-      let t0 = if tel then tp.Tel.now () else 0 in
-      lock_all 0 ws;
-      let t1 =
-        if tel then begin
-          let t = tp.Tel.now () in
-          tp.Tel.observe Tel.Lock (t - t0);
-          t
-        end
-        else 0
-      in
-      let wv = Atomic.fetch_and_add clock 1 + 1 in
-      chaos Chaos.Validate;
-      let owned id = List.exists (fun w -> w.w_id = id) ws in
-      let rec first_invalid = function
-        | [] -> None
-        | r :: rest ->
-            if r.check ~rv:txn.rv ~owned then first_invalid rest
-            else Some r.r_id
-      in
-      (match first_invalid txn.reads with
-      | Some bad ->
-          if tr then
-            Trace.emit Tev.Validation "read-invalid" Tev.Instant
-              [ ("tvar", Tev.Int bad) ];
-          release_all List.rev;
-          raise Conflict
-      | None -> ());
-      let t2 =
-        if tel then begin
-          let t = tp.Tel.now () in
-          tp.Tel.observe Tel.Validate (t - t1);
-          t
-        end
-        else 0
-      in
-      chaos Chaos.Pre_commit;
-      (* Publishing a t-variable also releases its lock (the vlock is set
-         to the new even version), hence the paired release event.  Both
-         events are emitted while the lock is still really held so that a
-         competing domain's acquire event can only sequence after them. *)
-      List.iter
-        (fun w ->
-          if tr then begin
-            Trace.emit Tev.Txn "publish" Tev.Instant
-              [ ("tvar", Tev.Int w.w_id) ];
-            Trace.emit Tev.Lock "release" Tev.Instant
-              [ ("tvar", Tev.Int w.w_id) ]
-          end;
-          w.publish w.value wv)
-        (List.rev !acquired);
-      if tel then tp.Tel.observe Tel.Publish (tp.Tel.now () - t2);
-      chaos Chaos.Post_commit
 
 let backoff attempts prng_state =
   let bound = 1 lsl min attempts 10 in
@@ -470,6 +165,7 @@ let atomically (type a) (f : unit -> a) : a =
   match !slot with
   | Some _ -> f () (* flat nesting: join the enclosing transaction *)
   | None ->
+      let (module C) = Atomic.get selected in
       let prng_state = ref (Domain.self () :> int) in
       let end_attempt outcome =
         if Atomic.get Trace.tracing then
@@ -487,26 +183,35 @@ let atomically (type a) (f : unit -> a) : a =
         let aborted () =
           if tel then tp.Tel.observe Tel.Abort (tp.Tel.now () - t0)
         in
-        let txn = { rv = Atomic.get clock; reads = []; writes = [] } in
-        slot := Some txn;
+        let txn = C.begin_ () in
+        slot := Some (Stm_core.P ((module C), txn));
         match f () with
         | result -> (
             try
-              commit txn;
+              C.commit txn;
               slot := None;
               Atomic.incr commit_count;
               if tel then tp.Tel.observe Tel.Commit (tp.Tel.now () - t0);
               end_attempt "commit";
               result
-            with Conflict ->
-              slot := None;
-              Atomic.incr abort_count;
-              aborted ();
-              end_attempt "conflict";
-              backoff n prng_state;
-              attempt (n + 1))
-        | exception Conflict ->
+            with
+            | Stm_core.Conflict ->
+                slot := None;
+                C.abort_cleanup txn;
+                Atomic.incr abort_count;
+                aborted ();
+                end_attempt "conflict";
+                backoff n prng_state;
+                attempt (n + 1)
+            | Chaos.Crashed as e ->
+                (* A crashed commit keeps everything it holds: no
+                   cleanup, and the attempt span stays open — the
+                   domain is gone. *)
+                slot := None;
+                raise e)
+        | exception Stm_core.Conflict ->
             slot := None;
+            C.abort_cleanup txn;
             Atomic.incr abort_count;
             aborted ();
             end_attempt "conflict";
@@ -514,16 +219,27 @@ let atomically (type a) (f : unit -> a) : a =
             attempt (n + 1)
         | exception Retry ->
             slot := None;
+            C.abort_cleanup txn;
             Atomic.incr abort_count;
             aborted ();
             end_attempt "retry";
             backoff (n + 2) prng_state;
             attempt (n + 1)
+        | exception (Chaos.Crashed as e) ->
+            (* Crashed in the body: same no-cleanup contract. *)
+            slot := None;
+            end_attempt "exception";
+            raise e
         | exception e ->
             slot := None;
+            C.abort_cleanup txn;
             end_attempt "exception";
             raise e
       in
       attempt 0
 
 let stats () = (Atomic.get commit_count, Atomic.get abort_count)
+
+let recover () =
+  let (module C) = Atomic.get selected in
+  C.recover ()

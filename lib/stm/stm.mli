@@ -1,18 +1,24 @@
-(** A real software transactional memory for OCaml 5 (multicore).
+(** A real software transactional memory for OCaml 5 (multicore), with a
+    pluggable algorithm zoo.
 
-    TL2-style: a global version clock, per-t-variable versioned spinlocks,
-    deferred updates, commit-time lock acquisition in canonical order and
-    read-set validation — the same algorithm as the simulated [Tl2] of the
-    zoo, here running on actual domains with [Atomic].
+    Four algorithms run behind one interface (see {!Algo}): TL2 (the
+    default — global version clock, per-t-variable versioned spinlocks,
+    deferred updates, commit-time validation), a global-lock
+    serializer, a DSTM-style obstruction-free TM (revocable ownership
+    records with abort-others stealing) and NOrec (value-based
+    validation under a single sequence lock).  All of them share the
+    {!Trace}, {!Chaos} and {!Tel} observation seams and the same
+    transactional data-structure layer ([txn_*]).
 
     Consistently with the paper's impossibility result (no TM ensures
-    opacity and local progress in a fault-prone system), this runtime makes
-    no per-transaction progress guarantee: a transaction may be aborted and
-    retried an unbounded number of times under contention.  What it does
-    ensure is opacity — every transaction, even one about to abort, sees a
-    consistent snapshot — and, in the terms of Section 3.2.3, solo progress
-    in crash-free systems (a stalled domain holding commit locks blocks
-    conflicting commits; parasitic domains hold nothing).
+    opacity and local progress in a fault-prone system), no core makes
+    a per-transaction progress guarantee: a transaction may be aborted
+    and retried an unbounded number of times under contention.  What
+    every core does ensure is opacity — every transaction, even one
+    about to abort, sees a consistent snapshot.  Where they differ is
+    exactly the paper's Section 3.2.3 liveness territory: which
+    processes keep progressing when a peer crashes, stalls or turns
+    parasitic (see [Tm_chaos] and the per-algorithm verdict matrix).
 
     Usage:
     {[
@@ -26,14 +32,18 @@
 type 'a tvar
 
 val tvar : 'a -> 'a tvar
-(** A fresh transactional variable with the given initial value. *)
+(** A fresh transactional variable with the given initial value.  A
+    t-variable belongs to the algorithm that first commits to it: do
+    not carry t-variables across {!set_algo} switches (each core
+    maintains its own side of the shared representation). *)
 
 val atomically : (unit -> 'a) -> 'a
-(** Run the function as a transaction: reads/writes of t-variables inside
-    it are isolated and take effect atomically at commit.  On conflict the
-    transaction is rolled back and re-executed (with randomized exponential
-    backoff).  Nesting is flattened: an [atomically] inside a transaction
-    joins the enclosing one. *)
+(** Run the function as a transaction under the currently selected
+    algorithm: reads/writes of t-variables inside it are isolated and
+    take effect atomically at commit.  On conflict the transaction is
+    rolled back and re-executed (with randomized exponential backoff).
+    Nesting is flattened: an [atomically] inside a transaction joins
+    the enclosing one. *)
 
 val read : 'a tvar -> 'a
 (** Inside a transaction: a validated transactional read.  Outside: an
@@ -53,7 +63,66 @@ val retry : unit -> 'a
 val in_transaction : unit -> bool
 
 val stats : unit -> int * int
-(** [(commits, aborts)] since program start, summed over all domains. *)
+(** [(commits, aborts)] since program start, summed over all domains
+    and algorithms. *)
+
+val recover : unit -> unit
+(** Release core-global lock state abandoned by crashed transactions of
+    the {e currently selected} algorithm — the stranded global-lock
+    serializer, NOrec's odd sequence lock.  For fault-injection
+    harnesses tearing down a run after every domain is joined: a
+    crashed transaction never releases anything itself ({!Chaos}), and
+    the serialized cores' locks are process-global, so without recovery
+    one crashed run would starve every later run of the same core in
+    the process.  Only sound while no transaction of the algorithm is
+    in flight; per-t-variable state (TL2 vlocks, DSTM locators) is
+    instead recovered by dropping the crashed run's t-variables. *)
+
+(** The algorithm zoo: which core {!atomically} runs. *)
+module Algo : sig
+  type t =
+    | Tl2  (** the default: progressive, per-location versioned locks *)
+    | Global_lock  (** one serializer lock; blocking *)
+    | Dstm  (** obstruction-free ownership records, aggressive stealing *)
+    | Norec  (** value-based validation under a single sequence lock *)
+
+  val all : t list
+
+  val name : t -> string
+  (** ["tl2"], ["global-lock"], ["dstm"], ["norec"] — the [--algo]
+      vocabulary. *)
+
+  val of_string : string -> (t, string) result
+  val describe : t -> string
+
+  val progress_label : t -> string
+  (** The Kuznetsov–Ravi progress family: ["progressive"],
+      ["blocking"], ["obstruction-free"], ["commit-serialized"]. *)
+
+  val tel_phases : t -> Stm_core.Tel.phase list
+  (** The per-algorithm phase mapping: exactly the {!Tel.phase}s this
+      core can emit.  Enforced by the phase-mapping test; notable
+      truths: NOrec and DSTM never emit [Lock] (no per-location
+      lock-acquire phase exists), the global-lock serializer never
+      emits [Validate]. *)
+
+  val chaos_points : t -> Stm_core.Chaos.point list
+  (** The {!Chaos.point}s this core fires, same contract.  The
+      global-lock core never fires [Validate]; NOrec never fires
+      [Lock_acquire]. *)
+end
+
+val set_algo : Algo.t -> unit
+(** Select the algorithm used by subsequent transactions (initially
+    {!Algo.Tl2}).  Not synchronized with in-flight transactions: switch
+    only while no domain is inside {!atomically}. *)
+
+val algo : unit -> Algo.t
+
+val with_algo : Algo.t -> (unit -> 'a) -> 'a
+(** [with_algo a f] runs [f] with [a] selected, restoring the previous
+    selection afterwards (single-controller discipline; do not nest
+    concurrently from several domains). *)
 
 (** Runtime tracing.
 
@@ -92,36 +161,46 @@ end
 
     Disarmed by default; every interception point then costs a single
     atomic flag read — the same zero-cost discipline as {!Trace}.  An
-    installed handler is consulted at five points of the TL2 hot path
-    ({!point}) and answers with an {!action}:
+    installed handler is consulted at up to five points of the hot
+    path ({!point}) and answers with an {!action}:
 
     - [Proceed] — no fault;
     - [Abort] — abort the current attempt as an ordinary conflict (it is
-      counted, backed off and retried, and any commit vlocks already
-      held are released first);
+      counted, backed off and retried, and anything the attempt holds —
+      commit vlocks, the serializer, the sequence lock, ownerships —
+      is released or revoked first);
     - [Stall n] — spin for [n] {!Domain.cpu_relax} iterations, modelling
       a slow or descheduled process;
     - [Crash] — raise {!Crashed} out of {!atomically} {e without
-      releasing} any commit vlocks the domain holds.  A [Crash] at
-      [Pre_commit] therefore leaves the whole write set locked forever:
-      the paper's crashed-lock-holder adversary, under which conflicting
-      peers starve (see the solo-progress caveat above).
+      releasing} anything the domain holds.  Under the lock-based
+      cores a [Crash] at [Pre_commit] leaves locks stranded forever —
+      the paper's crashed-lock-holder adversary, under which
+      conflicting peers starve; under the obstruction-free DSTM core
+      the abandoned ownerships are simply stolen and peers progress.
+
+    Which core fires which point, and what is held there, is the
+    per-algorithm mapping {!Algo.chaos_points} (e.g. the global-lock
+    core fires [Read] only with the serializer already held).
 
     Handlers run on the faulting domain and must be domain-safe.  This
     is the mechanism only; seeded fault plans, scenarios and empirical
     verdicts live in the [Tm_chaos] library. *)
 module Chaos : sig
-  type point =
+  type point = Stm_core.Chaos.point =
     | Read  (** before each transactional read *)
-    | Validate  (** at commit, before read-set validation (locks held) *)
-    | Lock_acquire  (** before each commit vlock acquisition *)
-    | Pre_commit  (** after validation, before publishing (locks held) *)
-    | Post_commit  (** after the last publish (locks released) *)
+    | Validate  (** before read-set validation *)
+    | Lock_acquire  (** before a lock/ownership acquisition *)
+    | Pre_commit  (** after validation, before publishing (held) *)
+    | Post_commit  (** after the commit took effect (released) *)
 
-  type action = Proceed | Abort | Stall of int | Crash
+  type action = Stm_core.Chaos.action =
+    | Proceed
+    | Abort
+    | Stall of int
+    | Crash
 
   exception Crashed
-  (** Escapes {!atomically} on a [Crash] action; held vlocks stay held. *)
+  (** Escapes {!atomically} on a [Crash] action; held locks stay held. *)
 
   val install : (point -> action) -> unit
   (** Install a handler and arm every interception point.  Replaces any
@@ -146,10 +225,14 @@ end
 
     An installed probe sees, per transaction attempt, a
     [count Begin]; per transactional read a [count Read]; and phase
-    durations via [observe]: [Lock] (acquiring the write-set vlocks),
-    [Validate] (write-version draw plus read-set validation), [Publish]
-    (publishing and releasing), all within a write commit, plus the
-    whole-attempt [Commit]/[Abort] latency from attempt start to
+    durations via [observe] — which phases exist depends on the
+    selected algorithm ({!Algo.tel_phases}): under TL2 [Lock]
+    (acquiring the write-set vlocks), [Validate] (write-version draw
+    plus read-set validation) and [Publish] (publishing and releasing)
+    within a write commit; under the global-lock core [Lock] (the
+    serializer) and [Publish] but no [Validate]; under NOrec and DSTM
+    [Validate] and [Publish] but no [Lock].  Every algorithm reports
+    the whole-attempt [Commit]/[Abort] latency from attempt start to
     outcome.  Durations are deltas of the probe's own [now] clock — the
     probe chooses the unit (tm_telemetry installs a monotonic
     nanosecond clock), which keeps this library clock-agnostic.
@@ -158,16 +241,16 @@ end
     non-blocking; [tm_telemetry]'s sharded instruments are the intended
     implementation. *)
 module Tel : sig
-  type phase =
+  type phase = Stm_core.Tel.phase =
     | Begin  (** counted: a transaction attempt started *)
     | Read  (** counted: a validated transactional read *)
-    | Lock  (** observed: commit vlock acquisition, write commits only *)
-    | Validate  (** observed: read-set validation, write commits only *)
-    | Publish  (** observed: publish + release, write commits only *)
+    | Lock  (** observed: lock acquisition (TL2, global-lock) *)
+    | Validate  (** observed: read-set validation (TL2, DSTM, NOrec) *)
+    | Publish  (** observed: making the write set visible *)
     | Commit  (** observed: whole-attempt latency of a commit *)
     | Abort  (** observed: whole-attempt latency of an abort *)
 
-  type probe = {
+  type probe = Stm_core.Tel.probe = {
     now : unit -> int;  (** monotone; the probe's unit *)
     count : phase -> unit;
     observe : phase -> int -> unit;  (** duration in [now]'s unit *)

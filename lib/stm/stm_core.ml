@@ -1,0 +1,372 @@
+(* Shared substrate of the real-domains STM algorithm zoo.
+
+   Everything algorithm-independent lives here: the t-variable
+   representation, the universal-type trick for heterogeneous
+   read/write sets, the three zero-cost observation seams ([Trace],
+   [Chaos], [Tel]) and the core interface [S] that each algorithm
+   implements.  The [Stm] facade dispatches the public API to the
+   currently selected core; the cores themselves live in [Stm_tl2],
+   [Stm_glock], [Stm_dstm] and [Stm_norec].
+
+   Type erasure for the heterogeneous read/write sets uses the
+   universal type trick: every t-variable carries its own
+   injection/projection pair built from a locally generated
+   extensible-variant constructor, so no [Obj] is needed. *)
+
+type univ = exn
+
+(* DSTM-style locator: the committed value of a t-variable owned by a
+   transaction is derived from the owner's status.  [l_status] is the
+   owner transaction's status cell (shared across all its locators):
+   0 = active, 1 = committed, 2 = aborted; transitions are monotone
+   and terminal (only 0->1 and 0->2 ever happen).  Non-DSTM cores
+   ignore the locator entirely. *)
+type locator = { l_status : int Atomic.t; l_old : univ; mutable l_new : univ }
+
+type 'a tvar = {
+  id : int;
+  content : 'a Atomic.t;
+  vlock : int Atomic.t;
+  locator : locator Atomic.t;
+  inj : 'a -> univ;
+  proj : univ -> 'a option;
+}
+
+let next_id = Atomic.make 0
+
+(* All freshly created t-variables share one permanently-committed
+   status cell: a steal (CAS 0 -> 2) on it can never succeed, and no
+   transaction ever owns it. *)
+let root_status = Atomic.make 1
+
+module Tev = Tm_trace.Trace_event
+
+(* Runtime tracing.  The hot path pays one [Atomic.get] on a global flag
+   per potential event; when the flag is false no event is even
+   constructed.  When on, each domain writes into its own fixed-size ring
+   (single-writer, no lock on the emit path) registered in a global list
+   so [events] can collect them afterwards.  Timestamps come from a global
+   emission sequence — they give a total order of emissions, not wall
+   time. *)
+module Trace = struct
+  type mode = Off | Null | Rings of int
+
+  let tracing = Atomic.make false
+  let mode = Atomic.make Off
+  let generation = Atomic.make 0
+  let seq = Atomic.make 0
+  let emitted_count = Atomic.make 0
+  let registry_mu = Mutex.create ()
+  let registry : Tm_trace.Ring.t list ref = ref []
+
+  let slot : (int * Tm_trace.Ring.t) option ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref None)
+
+  let default_capacity = 4096
+
+  let reset_locked m =
+    registry := [];
+    Atomic.incr generation;
+    Atomic.set seq 0;
+    Atomic.set emitted_count 0;
+    Atomic.set mode m;
+    Atomic.set tracing (m <> Off)
+
+  let start ?(capacity = default_capacity) () =
+    if capacity < 1 then invalid_arg "Stm.Trace.start: capacity must be positive";
+    Mutex.protect registry_mu (fun () -> reset_locked (Rings capacity))
+
+  let start_null () = Mutex.protect registry_mu (fun () -> reset_locked Null)
+
+  let stop () =
+    Mutex.protect registry_mu (fun () ->
+        Atomic.set tracing false;
+        Atomic.set mode Off)
+
+  let is_on () = Atomic.get tracing
+
+  (* The per-domain ring is cached in DLS together with the generation it
+     belongs to, so a stale ring from a previous [start] is never written
+     into the current session. *)
+  let ring_for_domain gen =
+    let r = Domain.DLS.get slot in
+    match !r with
+    | Some (g, ring) when g = gen -> Some ring
+    | _ -> (
+        match Atomic.get mode with
+        | Rings cap ->
+            let ring = Tm_trace.Ring.create ~capacity:cap in
+            let registered =
+              Mutex.protect registry_mu (fun () ->
+                  if Atomic.get generation = gen then begin
+                    registry := ring :: !registry;
+                    true
+                  end
+                  else false)
+            in
+            if registered then begin
+              r := Some (gen, ring);
+              Some ring
+            end
+            else None
+        | Off | Null -> None)
+
+  let emit cat name phase args =
+    let ts = Atomic.fetch_and_add seq 1 in
+    let tid = (Domain.self () :> int) in
+    let e = { Tev.ts; pid = 0; tid; cat; name; phase; args } in
+    Atomic.incr emitted_count;
+    match Atomic.get mode with
+    | Off | Null -> ()
+    | Rings _ -> (
+        match ring_for_domain (Atomic.get generation) with
+        | Some ring -> Tm_trace.Ring.add ring e
+        | None -> ())
+
+  let events () =
+    let evs =
+      Mutex.protect registry_mu (fun () ->
+          List.concat_map Tm_trace.Ring.to_list !registry)
+    in
+    List.sort (fun (a : Tev.t) b -> Int.compare a.ts b.ts) evs
+
+  let dropped () =
+    Mutex.protect registry_mu (fun () ->
+        List.fold_left (fun acc r -> acc + Tm_trace.Ring.dropped r) 0 !registry)
+
+  let emitted () = Atomic.get emitted_count
+end
+
+let tvar (type a) (init : a) : a tvar =
+  let module M = struct
+    exception E of a
+  end in
+  let inj x = M.E x in
+  let u0 = inj init in
+  {
+    id = Atomic.fetch_and_add next_id 1;
+    content = Atomic.make init;
+    vlock = Atomic.make 0;
+    locator = Atomic.make { l_status = root_status; l_old = u0; l_new = u0 };
+    inj;
+    proj = (function M.E x -> Some x | _ -> None);
+  }
+
+exception Retry
+exception Conflict
+
+(* Deterministic fault injection.  Same zero-cost discipline as [Trace]:
+   every interception point costs one [Atomic.get] on [armed] when no
+   plan is installed, and only consults the handler when armed.  The
+   handler decides per point: proceed, abort the attempt (a normal
+   conflict, counted and retried), stall (bounded spinning), or crash.
+   [Crashed] escapes [atomically] through its generic exception arm
+   without releasing any commit locks the domain holds — a crash at
+   [Pre_commit] is therefore the paper's crashed-lock-holder adversary,
+   observable on real domains.  Where each point fires is
+   algorithm-specific; see [Stm.Algo] for the per-core mapping. *)
+module Chaos = struct
+  type point = Read | Validate | Lock_acquire | Pre_commit | Post_commit
+  type action = Proceed | Abort | Stall of int | Crash
+
+  exception Crashed
+
+  let null_handler : point -> action = fun _ -> Proceed
+  let armed = Atomic.make false
+  let handler = Atomic.make null_handler
+
+  let install f =
+    Atomic.set handler f;
+    Atomic.set armed true
+
+  let uninstall () =
+    Atomic.set armed false;
+    Atomic.set handler null_handler
+
+  let is_armed () = Atomic.get armed
+
+  let point_label = function
+    | Read -> "read"
+    | Validate -> "validate"
+    | Lock_acquire -> "lock-acquire"
+    | Pre_commit -> "pre-commit"
+    | Post_commit -> "post-commit"
+
+  let stall n =
+    for _ = 1 to n do
+      Domain.cpu_relax ()
+    done
+
+  let decide p = if Atomic.get armed then (Atomic.get handler) p else Proceed
+
+  (* Interpretation for points where the domain holds no commit locks;
+     commit paths interpret actions themselves so an [Abort] can back
+     out whatever the core already holds (and a [Crash] deliberately
+     does not). *)
+  let fire p =
+    match decide p with
+    | Proceed -> ()
+    | Stall n -> stall n
+    | Abort -> raise Conflict
+    | Crash -> raise Crashed
+end
+
+(* Always-on telemetry.  Third user of the zero-cost discipline of
+   [Trace] and [Chaos]: every instrumented event costs one [Atomic.get]
+   on [armed] while no probe is installed, and the probe record is only
+   loaded once armed.  The probe supplies its own clock so this module
+   stays clock-library-agnostic; [now] must be monotone and its unit is
+   whatever the installer counts in (tm_telemetry installs nanoseconds).
+   Durations handed to [observe] are [now] deltas in that unit. *)
+module Tel = struct
+  type phase = Begin | Read | Lock | Validate | Publish | Commit | Abort
+
+  type probe = {
+    now : unit -> int;
+    count : phase -> unit;
+    observe : phase -> int -> unit;
+  }
+
+  let null_probe =
+    { now = (fun () -> 0); count = (fun _ -> ()); observe = (fun _ _ -> ()) }
+
+  let armed = Atomic.make false
+  let probe = Atomic.make null_probe
+
+  let install p =
+    Atomic.set probe p;
+    Atomic.set armed true
+
+  let uninstall () =
+    Atomic.set armed false;
+    Atomic.set probe null_probe
+
+  let is_armed () = Atomic.get armed
+
+  let phase_label = function
+    | Begin -> "begin"
+    | Read -> "read"
+    | Lock -> "lock-acquire"
+    | Validate -> "validate"
+    | Publish -> "publish"
+    | Commit -> "commit"
+    | Abort -> "abort"
+end
+
+(* Versioned-lock helpers (TL2's vlock word: even = unlocked, value is
+   version << 1; odd = locked by a committing transaction). *)
+let locked v = v land 1 = 1
+let version_of v = v lsr 1
+let read_vlock tv = Atomic.get tv.vlock
+
+let try_lock_tvar tv =
+  let v = read_vlock tv in
+  (not (locked v)) && Atomic.compare_and_set tv.vlock v (v lor 1)
+
+let unlock_tvar tv =
+  let v = read_vlock tv in
+  if locked v then Atomic.set tv.vlock (v land lnot 1)
+
+let publish_tvar (type a) (tv : a tvar) u wv =
+  (match tv.proj u with
+  | Some x -> Atomic.set tv.content x
+  | None -> assert false);
+  Atomic.set tv.vlock (wv lsl 1)
+
+let set_tvar (type a) (tv : a tvar) u =
+  match tv.proj u with
+  | Some x -> Atomic.set tv.content x
+  | None -> assert false
+
+(* Write-set entry shared by the write-back cores: the pending value
+   plus closures for the commit protocol.  TL2 uses
+   [w_try_lock]/[w_unlock]/[w_publish]; the serialized cores
+   (global-lock, NOrec) only use [w_set]. *)
+type wentry = {
+  w_id : int;
+  mutable w_value : univ;
+  w_try_lock : unit -> bool;
+  w_unlock : unit -> unit;
+  w_publish : univ -> int -> unit;
+  w_set : univ -> unit;
+}
+
+let wentry_of tv =
+  {
+    w_id = tv.id;
+    w_value = tv.inj (Atomic.get tv.content) (* overwritten before use *);
+    w_try_lock = (fun () -> try_lock_tvar tv);
+    w_unlock = (fun () -> unlock_tvar tv);
+    w_publish = (fun u wv -> publish_tvar tv u wv);
+    w_set = (fun u -> set_tvar tv u);
+  }
+
+let find_written (type a) writes (tv : a tvar) : a option =
+  match List.find_opt (fun w -> w.w_id = tv.id) writes with
+  | None -> None
+  | Some w -> (
+      match tv.proj w.w_value with Some x -> Some x | None -> assert false)
+
+let buffer_write (type a) writes (tv : a tvar) (x : a) =
+  match List.find_opt (fun w -> w.w_id = tv.id) !writes with
+  | Some w -> w.w_value <- tv.inj x
+  | None ->
+      let w = wentry_of tv in
+      w.w_value <- tv.inj x;
+      writes := w :: !writes
+
+(* Direct (non-transactional) atomic snapshot read through the vlock
+   seqlock — the write-back cores' [direct_read]. *)
+let rec snapshot_read tv =
+  let v1 = read_vlock tv in
+  if locked v1 then begin
+    Domain.cpu_relax ();
+    snapshot_read tv
+  end
+  else
+    let x = Atomic.get tv.content in
+    if read_vlock tv = v1 then x
+    else begin
+      Domain.cpu_relax ();
+      snapshot_read tv
+    end
+
+(* Bounded spinning for the serialized cores.  A peer stuck behind a
+   stranded lock (a crashed holder) must not hang: after [spin_budget]
+   relax iterations the wait is converted into an ordinary [Conflict],
+   so the attempt aborts, the transaction body re-runs, and whatever
+   stop-flag the body checks stays observable.  Such a domain
+   classifies as starving rather than deadlocked. *)
+let spin_budget = 1 lsl 14
+
+(* Per-algorithm core.  A core supplies the transaction engine; the
+   [Stm] facade owns the retry loop (backoff, trace attempt spans, Tel
+   Begin/Commit/Abort timing, global commit/abort counters) and the
+   per-domain current-transaction slot.
+
+   Contract:
+   - [begin_] never blocks and never raises: any waiting happens in
+     [read]/[write]/[commit] where the re-run transaction body keeps
+     external stop-flags observable.
+   - [read]/[write]/[commit] raise [Conflict] to abort the attempt and
+     may raise [Chaos.Crashed]; before re-running (or on any other
+     exception) the facade calls [abort_cleanup], which must be
+     idempotent and release everything the attempt still holds.
+     [abort_cleanup] is never called after [Chaos.Crashed]: a crashed
+     transaction keeps whatever it holds, by design.
+   - [commit] returning normally means the transaction took effect;
+     the core has released everything. *)
+module type S = sig
+  type txn
+
+  val algo_name : string
+  val begin_ : unit -> txn
+  val read : txn -> 'a tvar -> 'a
+  val write : txn -> 'a tvar -> 'a -> unit
+  val commit : txn -> unit
+  val abort_cleanup : txn -> unit
+  val recover : unit -> unit
+  val direct_read : 'a tvar -> 'a
+end
+
+type packed = P : (module S with type txn = 't) * 't -> packed

@@ -1,0 +1,197 @@
+(** Shared substrate of the real-domains STM algorithm zoo (internal).
+
+    This module is the algorithm-independent half of [lib/stm]: the
+    t-variable representation, the three observation seams ([Trace],
+    [Chaos], [Tel]) and the core interface {!S} each algorithm
+    implements.  User code should go through the {!Stm} facade; the
+    types here are exposed so the cores ([Stm_tl2], [Stm_glock],
+    [Stm_dstm], [Stm_norec]) can share one t-variable type and so the
+    facade can re-export the seams unchanged. *)
+
+type univ = exn
+(** The universal type: values of any ['a] are injected via a
+    per-t-variable extensible-variant constructor (no [Obj]). *)
+
+type locator = { l_status : int Atomic.t; l_old : univ; mutable l_new : univ }
+(** DSTM-style locator.  [l_status] is the owning transaction's status
+    cell, shared across all its locators: 0 = active, 1 = committed,
+    2 = aborted; transitions are monotone and terminal.  Only the DSTM
+    core reads or writes locators. *)
+
+type 'a tvar = {
+  id : int;
+  content : 'a Atomic.t;
+  vlock : int Atomic.t;
+  locator : locator Atomic.t;
+  inj : 'a -> univ;
+  proj : univ -> 'a option;
+}
+
+val tvar : 'a -> 'a tvar
+(** A fresh t-variable, coherent under every core: [content] and the
+    initial (committed) locator both hold the initial value.  A
+    t-variable must not be shared across algorithm switches: each core
+    maintains its own side of the representation. *)
+
+val root_status : int Atomic.t
+(** The permanently-committed status cell shared by all initial
+    locators. *)
+
+exception Retry
+(** User-requested retry; see [Stm.retry]. *)
+
+exception Conflict
+(** Internal: aborts the current attempt; caught by the facade's retry
+    loop.  Cores also convert bounded-spin exhaustion behind a stranded
+    lock into [Conflict] so starving domains stay observable. *)
+
+(** Runtime tracing; see [Stm.Trace] for the user-facing contract. *)
+module Trace : sig
+  val tracing : bool Atomic.t
+  (** The armed flag, exposed so hot paths can do a single
+      [Atomic.get]. *)
+
+  val start : ?capacity:int -> unit -> unit
+  val start_null : unit -> unit
+  val stop : unit -> unit
+  val is_on : unit -> bool
+
+  val emit :
+    Tm_trace.Trace_event.category ->
+    string ->
+    Tm_trace.Trace_event.phase ->
+    (string * Tm_trace.Trace_event.arg) list ->
+    unit
+
+  val events : unit -> Tm_trace.Trace_event.t list
+  val dropped : unit -> int
+  val emitted : unit -> int
+end
+
+(** Deterministic fault-injection points; see [Stm.Chaos] for the
+    user-facing contract and [Stm.Algo] for where each core fires each
+    point. *)
+module Chaos : sig
+  type point = Read | Validate | Lock_acquire | Pre_commit | Post_commit
+  type action = Proceed | Abort | Stall of int | Crash
+
+  exception Crashed
+
+  val armed : bool Atomic.t
+  val install : (point -> action) -> unit
+  val uninstall : unit -> unit
+  val is_armed : unit -> bool
+  val point_label : point -> string
+  val stall : int -> unit
+
+  val decide : point -> action
+  (** Consult the handler (or [Proceed] when disarmed). *)
+
+  val fire : point -> unit
+  (** [decide] plus the no-locks-held interpretation: [Abort] raises
+      {!Conflict}, [Crash] raises {!Crashed}.  Commit paths that hold
+      locks interpret {!decide} themselves. *)
+end
+
+(** Always-on telemetry probe; see [Stm.Tel] for the user-facing
+    contract. *)
+module Tel : sig
+  type phase = Begin | Read | Lock | Validate | Publish | Commit | Abort
+
+  type probe = {
+    now : unit -> int;
+    count : phase -> unit;
+    observe : phase -> int -> unit;
+  }
+
+  val null_probe : probe
+  val armed : bool Atomic.t
+  val probe : probe Atomic.t
+  val install : probe -> unit
+  val uninstall : unit -> unit
+  val is_armed : unit -> bool
+  val phase_label : phase -> string
+end
+
+(** {1 Versioned-lock helpers (TL2's vlock word)} *)
+
+val locked : int -> bool
+val version_of : int -> int
+val read_vlock : 'a tvar -> int
+val try_lock_tvar : 'a tvar -> bool
+val unlock_tvar : 'a tvar -> unit
+
+val publish_tvar : 'a tvar -> univ -> int -> unit
+(** Set the content and release the vlock at the given version. *)
+
+val set_tvar : 'a tvar -> univ -> unit
+(** Set the content only (serialized cores' write-back). *)
+
+(** {1 Write-set entries} *)
+
+type wentry = {
+  w_id : int;
+  mutable w_value : univ;
+  w_try_lock : unit -> bool;
+  w_unlock : unit -> unit;
+  w_publish : univ -> int -> unit;
+  w_set : univ -> unit;
+}
+
+val wentry_of : 'a tvar -> wentry
+
+val find_written : wentry list -> 'a tvar -> 'a option
+(** Read-own-write lookup. *)
+
+val buffer_write : wentry list ref -> 'a tvar -> 'a -> unit
+(** Insert or update the buffered write for the t-variable. *)
+
+val snapshot_read : 'a tvar -> 'a
+(** Direct atomic snapshot read through the vlock seqlock. *)
+
+val spin_budget : int
+(** Relax iterations a serialized core spins behind a busy lock before
+    converting the wait into {!Conflict} (keeps peers of a crashed lock
+    holder starving-but-observable instead of deadlocked). *)
+
+(** {1 The per-algorithm core interface}
+
+    A core supplies the transaction engine; the [Stm] facade owns the
+    retry loop (backoff, trace attempt spans, Tel Begin/Commit/Abort
+    timing, global commit/abort counters) and the per-domain
+    current-transaction slot.
+
+    Contract:
+    - [begin_] never blocks and never raises: any waiting happens in
+      [read]/[write]/[commit] where the re-run transaction body keeps
+      external stop-flags observable.
+    - [read]/[write]/[commit] raise {!Conflict} to abort the attempt
+      and may raise [Chaos.Crashed]; before re-running (or on any
+      other exception) the facade calls [abort_cleanup], which must be
+      idempotent and release everything the attempt still holds.
+      [abort_cleanup] is never called after [Chaos.Crashed]: a crashed
+      transaction keeps whatever it holds, by design.
+    - [commit] returning normally means the transaction took effect
+      and the core has released everything.
+    - [recover] releases any {e core-global} state abandoned by crashed
+      transactions (the serializer, the sequence lock); per-t-variable
+      state (vlocks, locators) is recovered by dropping the crashed
+      run's t-variables.  Only sound once every transaction of the core
+      is finished or dead — it is for fault-injection harnesses tearing
+      down a run, not for concurrent use. *)
+module type S = sig
+  type txn
+
+  val algo_name : string
+  val begin_ : unit -> txn
+  val read : txn -> 'a tvar -> 'a
+  val write : txn -> 'a tvar -> 'a -> unit
+  val commit : txn -> unit
+  val abort_cleanup : txn -> unit
+  val recover : unit -> unit
+  val direct_read : 'a tvar -> 'a
+end
+
+type packed = P : (module S with type txn = 't) * 't -> packed
+(** A core paired with one of its in-flight transactions — the
+    facade's per-domain current-transaction slot. *)

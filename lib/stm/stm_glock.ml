@@ -1,0 +1,161 @@
+(* Global-lock serializer — the zoo's blocking baseline.
+
+   One algorithm-global spinlock serializes every transaction: a
+   transaction acquires it lazily at its first t-variable access and
+   holds it until commit (or abort).  Writes are still buffered so an
+   exception rolls the attempt back, but there is no validation and no
+   per-t-variable locking: zero aborts under healthy contention, at
+   the price of zero parallelism — and of the taxonomy's worst-case
+   liveness: any transaction that stops while holding the serializer
+   (a crash, a parasitic body) strands every peer.
+
+   Peers never block on the stranded serializer, though: acquisition
+   spins a bounded budget and then converts into [Conflict], so a
+   starving domain keeps re-running its transaction body (where stop
+   flags live) instead of deadlocking inside the runtime.
+
+   Chaos mapping: [Lock_acquire] fires before each serializer
+   acquisition attempt (holding nothing — this also keeps a starving
+   peer's op clock ticking); [Read] fires before each read, *after*
+   the serializer is held, so an in-transaction crash deterministically
+   strands it; [Pre_commit] fires before write-back (serializer held);
+   [Post_commit] after release.  [Validate] never fires: there is
+   nothing to validate. *)
+
+open Stm_core
+module Tev = Tm_trace.Trace_event
+
+let algo_name = "global-lock"
+
+(* 0 = free, 1 = held. *)
+let big_lock = Atomic.make 0
+
+(* A plain CAS spinlock is brutally unfair on real hardware: the
+   releasing domain's cache owns the lock line, so its next acquisition
+   beats any remote waiter's in-flight CAS almost every time, and with
+   the facade's backoff growing on each failed attempt a waiter can be
+   locked out for entire observation windows (measured: hundreds of
+   thousands of failed CAS against a two-domain hot loop).  So waiters
+   register themselves, and a domain that was the last holder yields a
+   beat before competing again whenever someone is registered — long
+   enough for a registered waiter's CAS to land in the free window. *)
+let waiters = Atomic.make 0
+let last_holder = Atomic.make (-1)
+let yield_spins = 512
+
+type txn = { mutable held : bool; mutable writes : wentry list }
+
+let begin_ () = { held = false; writes = [] }
+
+let release t =
+  if t.held then begin
+    t.held <- false;
+    Atomic.set big_lock 0
+  end
+
+(* Acquire the serializer, bounded.  [Chaos.fire] may raise [Conflict]
+   or [Crashed] while we hold nothing; spin exhaustion raises
+   [Conflict] (the facade's cleanup finds nothing held). *)
+let ensure_locked t =
+  if not t.held then begin
+    if Atomic.get Chaos.armed then Chaos.fire Chaos.Lock_acquire;
+    let tel = Atomic.get Tel.armed in
+    let tp = if tel then Atomic.get Tel.probe else Tel.null_probe in
+    let t0 = if tel then tp.Tel.now () else 0 in
+    let me = (Domain.self () :> int) in
+    if Atomic.get last_holder = me && Atomic.get waiters > 0 then
+      for _ = 1 to yield_spins do
+        Domain.cpu_relax ()
+      done;
+    if not (Atomic.compare_and_set big_lock 0 1) then begin
+      Atomic.incr waiters;
+      Fun.protect
+        ~finally:(fun () -> Atomic.decr waiters)
+        (fun () ->
+          let rec spin budget =
+            if Atomic.compare_and_set big_lock 0 1 then ()
+            else if budget <= 0 then raise Conflict
+            else begin
+              Domain.cpu_relax ();
+              spin (budget - 1)
+            end
+          in
+          spin spin_budget)
+    end;
+    Atomic.set last_holder me;
+    t.held <- true;
+    if tel then tp.Tel.observe Tel.Lock (tp.Tel.now () - t0)
+  end
+
+let read (type a) t (tv : a tvar) : a =
+  match find_written t.writes tv with
+  | Some x -> x (* read-own-write *)
+  | None ->
+      ensure_locked t;
+      if Atomic.get Chaos.armed then Chaos.fire Chaos.Read;
+      if Atomic.get Tel.armed then (Atomic.get Tel.probe).Tel.count Tel.Read;
+      Atomic.get tv.content
+
+let write (type a) t (tv : a tvar) (x : a) : unit =
+  ensure_locked t;
+  let writes = ref t.writes in
+  buffer_write writes tv x;
+  t.writes <- !writes
+
+let commit t =
+  let tr = Atomic.get Trace.tracing in
+  let tel = Atomic.get Tel.armed in
+  let tp = if tel then Atomic.get Tel.probe else Tel.null_probe in
+  (* Chaos at [Pre_commit] holds the serializer: [Abort] releases it
+     (an ordinary conflict), [Crash] deliberately does not. *)
+  (if Atomic.get Chaos.armed then
+     match Chaos.decide Chaos.Pre_commit with
+     | Chaos.Proceed -> ()
+     | Chaos.Stall n -> Chaos.stall n
+     | Chaos.Abort ->
+         release t;
+         raise Conflict
+     | Chaos.Crash -> raise Chaos.Crashed);
+  (match t.writes with
+  | [] -> ()
+  | writes ->
+      let t0 = if tel then tp.Tel.now () else 0 in
+      let ws = List.sort_uniq (fun a b -> Int.compare a.w_id b.w_id) writes in
+      (* Holding the serializer is holding every lock: the trace shows
+         the write set acquired, published and released under it so the
+         lock-discipline lints see a coherent protocol. *)
+      if tr then
+        List.iteri
+          (fun k (w : wentry) ->
+            Trace.emit Tev.Lock "acquire" Tev.Instant
+              [ ("tvar", Tev.Int w.w_id); ("order", Tev.Int k) ])
+          ws;
+      List.iter
+        (fun (w : wentry) ->
+          if tr then begin
+            Trace.emit Tev.Txn "publish" Tev.Instant
+              [ ("tvar", Tev.Int w.w_id) ];
+            Trace.emit Tev.Lock "release" Tev.Instant
+              [ ("tvar", Tev.Int w.w_id) ]
+          end;
+          w.w_set w.w_value)
+        ws;
+      if tel then tp.Tel.observe Tel.Publish (tp.Tel.now () - t0));
+  release t;
+  if Atomic.get Chaos.armed then Chaos.fire Chaos.Post_commit
+
+let abort_cleanup t =
+  t.writes <- [];
+  release t
+
+(* A domain that crashed (or is abandoned) while holding the serializer
+   strands it process-wide; recovery is simply dropping it (plus the
+   fairness bookkeeping, which only ever named now-dead domains). *)
+let recover () =
+  Atomic.set big_lock 0;
+  Atomic.set waiters 0;
+  Atomic.set last_holder (-1)
+
+(* A single-location atomic read needs no seqlock here: content is only
+   written under the serializer and each write is itself atomic. *)
+let direct_read tv = Atomic.get tv.content

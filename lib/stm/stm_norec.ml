@@ -1,0 +1,188 @@
+(* NOrec: no ownership records — value-based validation under a single
+   global sequence lock.
+
+   The only shared metadata is [seqlock]: even = free (the value is the
+   commit sequence number), odd = a writer is writing back.  A
+   transaction snapshots the sequence number at begin; a read returns
+   the content if the lock still equals the snapshot, otherwise it
+   re-validates the whole read set value-by-value and adopts the new
+   snapshot.  Commit acquires the lock with CAS(snap, snap+1) —
+   revalidating until it wins — writes back, and releases to snap+2.
+
+   Validation compares with physical equality ([==]): sound (the same
+   box is the same value), conservative (a new structurally-equal box
+   aborts spuriously), and safe on contents a polymorphic [=] would
+   refuse (closures inside txn_map/txn_list nodes).
+
+   Phase truthfulness: NOrec has no per-location lock-acquire phase, so
+   this core never emits [Tel.Lock] — acquiring the sequence lock *is*
+   validation (the CAS argument is the validated snapshot) and is
+   observed under [Tel.Validate]; write-back is [Tel.Publish].
+
+   Chaos mapping: [Read] before each (non-own) read, [Validate] before
+   commit-time lock acquisition (holding nothing), [Pre_commit] once
+   the sequence lock is held — a [Crash] there strands it odd forever
+   and every peer starves (bounded spins keep them observable), an
+   [Abort] restores it — and [Post_commit] after release.
+   [Lock_acquire] never fires. *)
+
+open Stm_core
+module Tev = Tm_trace.Trace_event
+
+let algo_name = "norec"
+
+(* Even = free (commit sequence number), odd = write-back in progress. *)
+let seqlock = Atomic.make 0
+
+type rentry = { nr_id : int; nr_check : unit -> bool }
+
+type txn = {
+  mutable snap : int;
+  mutable reads : rentry list;
+  mutable writes : wentry list;
+}
+
+let begin_ () =
+  let g = Atomic.get seqlock in
+  (* Never block in begin: under an odd (held or stranded) lock start
+     from the next even value — the first read will spin/validate where
+     the re-run transaction body keeps stop flags observable. *)
+  { snap = (if g land 1 = 0 then g else g + 1); reads = []; writes = [] }
+
+let await_even () =
+  let rec go budget =
+    let v = Atomic.get seqlock in
+    if v land 1 = 0 then v
+    else if budget <= 0 then raise Conflict
+    else begin
+      Domain.cpu_relax ();
+      go (budget - 1)
+    end
+  in
+  go spin_budget
+
+(* Value-based revalidation: wait for a quiescent lock, re-check every
+   read, and adopt the observed sequence number as the new snapshot if
+   the lock did not move during the checks. *)
+let revalidate t =
+  let rec go () =
+    let s = await_even () in
+    let rec first_invalid = function
+      | [] -> None
+      | r :: rest -> if r.nr_check () then first_invalid rest else Some r.nr_id
+    in
+    (match first_invalid t.reads with
+    | None -> ()
+    | Some bad ->
+        if Atomic.get Trace.tracing then
+          Trace.emit Tev.Validation "read-invalid" Tev.Instant
+            [ ("tvar", Tev.Int bad) ];
+        raise Conflict);
+    if Atomic.get seqlock = s then t.snap <- s else go ()
+  in
+  go ()
+
+let read (type a) t (tv : a tvar) : a =
+  match find_written t.writes tv with
+  | Some x -> x (* read-own-write *)
+  | None ->
+      if Atomic.get Chaos.armed then Chaos.fire Chaos.Read;
+      if Atomic.get Tel.armed then (Atomic.get Tel.probe).Tel.count Tel.Read;
+      let rec sample () =
+        let v = Atomic.get tv.content in
+        if Atomic.get seqlock = t.snap then v
+        else begin
+          revalidate t;
+          sample ()
+        end
+      in
+      let v = sample () in
+      t.reads <-
+        { nr_id = tv.id; nr_check = (fun () -> Atomic.get tv.content == v) }
+        :: t.reads;
+      v
+
+let write (type a) t (tv : a tvar) (x : a) : unit =
+  let writes = ref t.writes in
+  buffer_write writes tv x;
+  t.writes <- !writes
+
+let commit t =
+  match t.writes with
+  | [] -> () (* read-only: the read set was kept snapshot-consistent *)
+  | writes ->
+      let tr = Atomic.get Trace.tracing in
+      let tel = Atomic.get Tel.armed in
+      let tp = if tel then Atomic.get Tel.probe else Tel.null_probe in
+      if Atomic.get Chaos.armed then Chaos.fire Chaos.Validate;
+      let t0 = if tel then tp.Tel.now () else 0 in
+      (* Acquire = validate: CAS the validated snapshot to odd,
+         revalidating (and adopting newer snapshots) until it wins. *)
+      let rec acquire () =
+        if not (Atomic.compare_and_set seqlock t.snap (t.snap + 1)) then begin
+          revalidate t;
+          acquire ()
+        end
+      in
+      acquire ();
+      let t1 =
+        if tel then begin
+          let t' = tp.Tel.now () in
+          tp.Tel.observe Tel.Validate (t' - t0);
+          t'
+        end
+        else 0
+      in
+      (* Sequence lock held (odd): a chaos [Abort] must restore it, a
+         [Crash] deliberately leaves it odd — the stranded-seqlock
+         adversary. *)
+      (if Atomic.get Chaos.armed then
+         match Chaos.decide Chaos.Pre_commit with
+         | Chaos.Proceed -> ()
+         | Chaos.Stall n -> Chaos.stall n
+         | Chaos.Abort ->
+             Atomic.set seqlock t.snap;
+             raise Conflict
+         | Chaos.Crash -> raise Chaos.Crashed);
+      let ws = List.sort_uniq (fun a b -> Int.compare a.w_id b.w_id) writes in
+      (* Holding the sequence lock is holding every lock: trace the
+         write set as acquired, published and released under it so the
+         lock-discipline lints see a coherent protocol. *)
+      if tr then
+        List.iteri
+          (fun k (w : wentry) ->
+            Trace.emit Tev.Lock "acquire" Tev.Instant
+              [ ("tvar", Tev.Int w.w_id); ("order", Tev.Int k) ])
+          ws;
+      List.iter
+        (fun (w : wentry) ->
+          if tr then begin
+            Trace.emit Tev.Txn "publish" Tev.Instant
+              [ ("tvar", Tev.Int w.w_id) ];
+            Trace.emit Tev.Lock "release" Tev.Instant
+              [ ("tvar", Tev.Int w.w_id) ]
+          end;
+          w.w_set w.w_value)
+        ws;
+      Atomic.set seqlock (t.snap + 2);
+      if tel then tp.Tel.observe Tel.Publish (tp.Tel.now () - t1);
+      if Atomic.get Chaos.armed then Chaos.fire Chaos.Post_commit
+
+(* Conflict is only ever raised while the sequence lock is free (the
+   held-lock window cannot fail except by deliberate chaos, which
+   restores or strands it itself), so there is nothing to release. *)
+let abort_cleanup t =
+  t.reads <- [];
+  t.writes <- []
+
+(* A transaction that crashed between acquiring the sequence lock and
+   publishing leaves it odd forever; once every transaction is finished
+   or dead, bumping it to the next even value un-strands the core. *)
+let recover () =
+  let g = Atomic.get seqlock in
+  if g land 1 = 1 then Atomic.set seqlock (g + 1)
+
+(* Content cells are only written under the sequence lock and each
+   write is atomic; a single-location direct read is a committed (or
+   just-committing) value either way. *)
+let direct_read tv = Atomic.get tv.content

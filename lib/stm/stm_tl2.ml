@@ -1,0 +1,173 @@
+(* TL2 over OCaml 5 atomics — the default core of the zoo.
+
+   A global version clock, per-t-variable versioned spinlocks, deferred
+   updates, commit-time lock acquisition in canonical order and
+   read-set validation.  Readers use the classic seqlock protocol
+   (read vlock, read content, read vlock again) and validate against
+   the transaction's read version.  Progressive in the
+   Kuznetsov–Ravi sense: a transaction aborts only on a real data
+   conflict (or a chaos fault). *)
+
+open Stm_core
+module Tev = Tm_trace.Trace_event
+
+let algo_name = "tl2"
+let clock = Atomic.make 0
+
+type rentry = { r_id : int; check : rv:int -> owned:(int -> bool) -> bool }
+
+type txn = {
+  rv : int;
+  mutable reads : rentry list;
+  mutable writes : wentry list;  (** unordered; sorted by id at commit *)
+}
+
+let rentry_of tv seen_version =
+  {
+    r_id = tv.id;
+    check =
+      (fun ~rv ~owned ->
+        let v = read_vlock tv in
+        let ok_lock = (not (locked v)) || owned tv.id in
+        ok_lock && version_of v <= rv && version_of v = seen_version);
+  }
+
+let begin_ () = { rv = Atomic.get clock; reads = []; writes = [] }
+
+let read (type a) txn (tv : a tvar) : a =
+  match find_written txn.writes tv with
+  | Some x -> x (* read-own-write *)
+  | None ->
+      if Atomic.get Chaos.armed then Chaos.fire Chaos.Read;
+      if Atomic.get Tel.armed then (Atomic.get Tel.probe).Tel.count Tel.Read;
+      let v1 = read_vlock tv in
+      if locked v1 || version_of v1 > txn.rv then raise Conflict;
+      let x = Atomic.get tv.content in
+      if read_vlock tv <> v1 then raise Conflict;
+      txn.reads <- rentry_of tv (version_of v1) :: txn.reads;
+      x
+
+let write (type a) txn (tv : a tvar) (x : a) : unit =
+  let writes = ref txn.writes in
+  buffer_write writes tv x;
+  txn.writes <- !writes
+
+let commit txn =
+  match txn.writes with
+  | [] -> () (* read-only: reads were validated against rv as they happened *)
+  | writes ->
+      let tr = Atomic.get Trace.tracing in
+      let tel = Atomic.get Tel.armed in
+      let tp = if tel then Atomic.get Tel.probe else Tel.null_probe in
+      let ws = List.sort_uniq (fun a b -> Int.compare a.w_id b.w_id) writes in
+      (* Locks held so far, newest first.  Commit-scoped so both the
+         normal conflict back-outs and a chaos [Abort] at any point can
+         release exactly what is held. *)
+      let acquired = ref [] in
+      let release_all order =
+        List.iter
+          (fun (w : wentry) ->
+            (* Emit release before the real unlock: once the vlock is
+               even another domain can acquire it, and its acquire
+               event must sequence after ours. *)
+            if tr then
+              Trace.emit Tev.Lock "release" Tev.Instant
+                [ ("tvar", Tev.Int w.w_id) ];
+            w.w_unlock ())
+          (order !acquired)
+      in
+      (* Chaos interception inside commit: [Abort] backs out held locks
+         like any conflict; [Crash] deliberately does not — a crashed
+         lock holder is the experiment. *)
+      let chaos p =
+        if Atomic.get Chaos.armed then
+          match Chaos.decide p with
+          | Chaos.Proceed -> ()
+          | Chaos.Stall n -> Chaos.stall n
+          | Chaos.Abort ->
+              release_all Fun.id;
+              raise Conflict
+          | Chaos.Crash -> raise Chaos.Crashed
+      in
+      (* Lock in canonical order; back out on failure. *)
+      let rec lock_all k = function
+        | [] -> ()
+        | w :: rest ->
+            chaos Chaos.Lock_acquire;
+            if w.w_try_lock () then begin
+              if tr then
+                Trace.emit Tev.Lock "acquire" Tev.Instant
+                  [ ("tvar", Tev.Int w.w_id); ("order", Tev.Int k) ];
+              acquired := w :: !acquired;
+              lock_all (k + 1) rest
+            end
+            else begin
+              if tr then
+                Trace.emit Tev.Lock "busy" Tev.Instant
+                  [ ("tvar", Tev.Int w.w_id) ];
+              release_all Fun.id;
+              raise Conflict
+            end
+      in
+      let t0 = if tel then tp.Tel.now () else 0 in
+      lock_all 0 ws;
+      let t1 =
+        if tel then begin
+          let t = tp.Tel.now () in
+          tp.Tel.observe Tel.Lock (t - t0);
+          t
+        end
+        else 0
+      in
+      let wv = Atomic.fetch_and_add clock 1 + 1 in
+      chaos Chaos.Validate;
+      let owned id = List.exists (fun w -> w.w_id = id) ws in
+      let rec first_invalid = function
+        | [] -> None
+        | r :: rest ->
+            if r.check ~rv:txn.rv ~owned then first_invalid rest
+            else Some r.r_id
+      in
+      (match first_invalid txn.reads with
+      | Some bad ->
+          if tr then
+            Trace.emit Tev.Validation "read-invalid" Tev.Instant
+              [ ("tvar", Tev.Int bad) ];
+          release_all List.rev;
+          raise Conflict
+      | None -> ());
+      let t2 =
+        if tel then begin
+          let t = tp.Tel.now () in
+          tp.Tel.observe Tel.Validate (t - t1);
+          t
+        end
+        else 0
+      in
+      chaos Chaos.Pre_commit;
+      (* Publishing a t-variable also releases its lock (the vlock is set
+         to the new even version), hence the paired release event.  Both
+         events are emitted while the lock is still really held so that a
+         competing domain's acquire event can only sequence after them. *)
+      List.iter
+        (fun w ->
+          if tr then begin
+            Trace.emit Tev.Txn "publish" Tev.Instant
+              [ ("tvar", Tev.Int w.w_id) ];
+            Trace.emit Tev.Lock "release" Tev.Instant
+              [ ("tvar", Tev.Int w.w_id) ]
+          end;
+          w.w_publish w.w_value wv)
+        (List.rev !acquired);
+      if tel then tp.Tel.observe Tel.Publish (tp.Tel.now () - t2);
+      chaos Chaos.Post_commit
+
+(* TL2 holds commit vlocks only inside [commit], and [commit] releases
+   them on every [Conflict] path itself; nothing is ever left held when
+   the facade sees an abort. *)
+let abort_cleanup _txn = ()
+
+(* No core-global lock state: a crashed commit's stranded vlocks live
+   on the run's own t-variables, recovered by dropping them. *)
+let recover () = ()
+let direct_read tv = snapshot_read tv

@@ -8,6 +8,7 @@ module Runner = Tm_chaos.Runner
 module Emp = Tm_liveness.Empirical
 module Pc = Tm_liveness.Process_class
 module Tev = Tm_trace.Trace_event
+module Stm = Tm_stm.Stm
 
 (* ------------------------------------------------------------------ *)
 (* Plans. *)
@@ -29,7 +30,7 @@ let test_plan_scenarios_documented () =
 let test_plan_shapes () =
   List.iter
     (fun scenario ->
-      match Plan.make ~scenario ~seed:11 ~domains:4 with
+      match Plan.make ~scenario ~seed:11 ~domains:4 () with
       | Error m -> Alcotest.failf "%s: %s" scenario m
       | Ok p ->
           Alcotest.(check int)
@@ -48,7 +49,7 @@ let test_plan_shapes () =
 
 let test_plan_expectations () =
   let expect scenario cls0 cls_rest =
-    match Plan.make ~scenario ~seed:3 ~domains:3 with
+    match Plan.make ~scenario ~seed:3 ~domains:3 () with
     | Error m -> Alcotest.failf "%s: %s" scenario m
     | Ok p ->
         Alcotest.(check string)
@@ -66,18 +67,45 @@ let test_plan_expectations () =
   expect "parasitic-only" Pc.Parasitic Pc.Progressing;
   expect "mixed" Pc.Crashed Pc.Progressing
 
+(* The per-algorithm Figure-2 matrix: the same fault, different
+   expected separations depending on the core. *)
+let test_plan_expectations_per_algo () =
+  let expect algo scenario d cls =
+    match Plan.make ~algo ~scenario ~seed:3 ~domains:3 () with
+    | Error m -> Alcotest.failf "%s: %s" scenario m
+    | Ok p ->
+        Alcotest.(check string)
+          (Fmt.str "%s/%s domain %d" (Stm.Algo.name algo) scenario d)
+          (Pc.cls_label cls)
+          (Pc.cls_label p.Plan.expected.(d))
+  in
+  (* obstruction-freedom survives the crashed lock holder *)
+  expect Stm.Algo.Dstm "crash-holding-locks" 0 Pc.Crashed;
+  expect Stm.Algo.Dstm "crash-holding-locks" 2 Pc.Progressing;
+  expect Stm.Algo.Norec "crash-holding-locks" 2 Pc.Starving;
+  expect Stm.Algo.Global_lock "crash-holding-locks" 2 Pc.Starving;
+  (* the serializer makes even a clean crash or a parasite lethal *)
+  expect Stm.Algo.Global_lock "crash-clean" 2 Pc.Starving;
+  expect Stm.Algo.Global_lock "parasitic-only" 0 Pc.Parasitic;
+  expect Stm.Algo.Global_lock "parasitic-only" 2 Pc.Starving;
+  expect Stm.Algo.Global_lock "mixed" 1 Pc.Starving;
+  (* everyone else isolates them *)
+  expect Stm.Algo.Norec "crash-clean" 2 Pc.Progressing;
+  expect Stm.Algo.Dstm "parasitic-only" 2 Pc.Progressing;
+  expect Stm.Algo.Norec "mixed" 1 Pc.Parasitic
+
 let test_plan_errors () =
   let is_error = function Error _ -> true | Ok _ -> false in
   Alcotest.(check bool) "unknown scenario" true
-    (is_error (Plan.make ~scenario:"nope" ~seed:0 ~domains:4));
+    (is_error (Plan.make ~scenario:"nope" ~seed:0 ~domains:4 ()));
   Alcotest.(check bool) "one domain is not a run" true
-    (is_error (Plan.make ~scenario:"healthy" ~seed:0 ~domains:1));
+    (is_error (Plan.make ~scenario:"healthy" ~seed:0 ~domains:1 ()));
   Alcotest.(check bool) "mixed needs three domains" true
-    (is_error (Plan.make ~scenario:"mixed" ~seed:0 ~domains:2))
+    (is_error (Plan.make ~scenario:"mixed" ~seed:0 ~domains:2 ()))
 
 let test_plan_trace_events_deterministic () =
   let events scenario =
-    match Plan.make ~scenario ~seed:42 ~domains:4 with
+    match Plan.make ~scenario ~seed:42 ~domains:4 () with
     | Error m -> Alcotest.failf "%s: %s" scenario m
     | Ok p -> Tm_trace.Export.chrome_string (Plan.trace_events p)
   in
@@ -89,7 +117,7 @@ let test_plan_trace_events_deterministic () =
     Plan.scenarios;
   (* Different seeds move the fault instants. *)
   let sched seed =
-    match Plan.make ~scenario:"crash-holding-locks" ~seed ~domains:4 with
+    match Plan.make ~scenario:"crash-holding-locks" ~seed ~domains:4 () with
     | Error m -> Alcotest.fail m
     | Ok p -> Plan.render_schedule p
   in
@@ -112,6 +140,15 @@ let test_classify_counters () =
     Pc.Parasitic;
   check "aborting forever without committing -> starving" z
     (c ~ops:500 ~trycs:0 ~commits:0 ~aborts:90)
+    Pc.Starving;
+  (* Abort-noise tolerance: a real parasite restarted a handful of
+     times by a peer descheduled mid-commit is still a parasite... *)
+  check "endless body with negligible abort noise -> parasitic" z
+    (c ~ops:25600 ~trycs:0 ~commits:0 ~aborts:9)
+    Pc.Parasitic;
+  (* ...but a starver's ops are its failed attempts: never negligible. *)
+  check "aborts above 1/64 of ops -> starving" z
+    (c ~ops:500 ~trycs:0 ~commits:0 ~aborts:8)
     Pc.Starving;
   check "committing -> progressing" z
     (c ~ops:500 ~trycs:60 ~commits:55 ~aborts:5)
@@ -164,6 +201,27 @@ let test_chaos_rule_unbacked_verdict () =
   Alcotest.(check int) "crashed verdict without an injected fault" 1
     (List.length (run_chaos_rule events))
 
+let test_chaos_rule_announced_parasitic_divergence () =
+  (* A parasitic fault classified otherwise is fine exactly when the
+     verdict announces the observed class as the plan's expectation
+     (e.g. the global-lock serializer starves its parasite); an
+     unannounced divergence is still a falsified verdict, and a crash
+     stays strict even when announced. *)
+  let verdict ~tid cls expected =
+    Tev.instant ~ts:100 ~tid Tev.Monitor "chaos-verdict"
+      [ ("class", Tev.Str cls); ("expected", Tev.Str expected) ]
+  in
+  let parasite = fault_instant ~tid:1 ~ts:40 "chaos-parasitic" [] in
+  Alcotest.(check int) "announced parasitic divergence is clean" 0
+    (List.length (run_chaos_rule [ parasite; verdict ~tid:1 "starving" "starving" ]));
+  Alcotest.(check int) "unannounced parasitic divergence is an error" 1
+    (List.length
+       (run_chaos_rule [ parasite; verdict ~tid:1 "starving" "parasitic" ]));
+  let crash = fault_instant ~tid:0 ~ts:40 "chaos-crash" [] in
+  Alcotest.(check int) "crash direction stays strict even when announced" 1
+    (List.length
+       (run_chaos_rule [ crash; verdict ~tid:0 "progressing" "progressing" ]))
+
 let test_chaos_rule_ignores_faultless_traces () =
   (* Traces without verdict events (simulator traces, stm demo traces)
      are exempt from the rule. *)
@@ -178,7 +236,7 @@ let test_chaos_rule_ignores_faultless_traces () =
    fast; the classification already settles within a few milliseconds. *)
 
 let run_scenario scenario seed =
-  match Plan.make ~scenario ~seed ~domains:3 with
+  match Plan.make ~scenario ~seed ~domains:3 () with
   | Error m -> Alcotest.fail m
   | Ok p -> Runner.run ~tvars:2 ~warmup:0.02 ~window:0.05 p
 
@@ -208,6 +266,85 @@ let test_run_parasitic_only () =
         (Pc.cls_label want)
         (Pc.cls_label r.Runner.rep_observed))
     o.Runner.o_reports
+
+(* ------------------------------------------------------------------ *)
+(* Per-algorithm runs: the Kuznetsov–Ravi separation as an executable
+   claim.  The same seeded fault plan drives different cores and must
+   produce the per-algorithm Figure-2 verdicts. *)
+
+let run_scenario_algo algo scenario seed =
+  match Plan.make ~algo ~scenario ~seed ~domains:3 () with
+  | Error m -> Alcotest.fail m
+  | Ok p -> Runner.run ~tvars:2 ~warmup:0.02 ~window:0.05 p
+
+let check_peers name o want =
+  if not o.Runner.o_ok then
+    Fmt.epr "%s mismatch:@.%a@." name Runner.pp_table o;
+  Alcotest.(check bool) (name ^ ": verdicts match") true o.Runner.o_ok;
+  List.iteri
+    (fun d (r : Runner.report) ->
+      if d > 0 then
+        Alcotest.(check string)
+          (Fmt.str "%s: domain %d" name d)
+          (Pc.cls_label want)
+          (Pc.cls_label r.Runner.rep_observed))
+    o.Runner.o_reports
+
+(* The separation itself: a crash holding commit-time ownership strands
+   every peer of the lock-based serializer forever, while the
+   obstruction-free DSTM core's peers steal the dead transaction's
+   ownerships and keep committing. *)
+let test_run_crash_holding_locks_dstm () =
+  let o = run_scenario_algo Stm.Algo.Dstm "crash-holding-locks" 7 in
+  let r0 = List.nth o.Runner.o_reports 0 in
+  Alcotest.(check bool) "domain 0 died on Chaos.Crashed" true
+    r0.Runner.rep_crashed;
+  check_peers "dstm crash-holding-locks" o Pc.Progressing
+
+let test_run_crash_holding_locks_glock () =
+  let o = run_scenario_algo Stm.Algo.Global_lock "crash-holding-locks" 7 in
+  check_peers "global-lock crash-holding-locks" o Pc.Starving
+
+(* Even a clean crash (at a read) is lethal under the serializer: the
+   global-lock core acquires at first access, so the read-point crash
+   strands the big lock. *)
+let test_run_crash_clean_glock () =
+  let o = run_scenario_algo Stm.Algo.Global_lock "crash-clean" 11 in
+  check_peers "global-lock crash-clean" o Pc.Starving
+
+let test_run_parasitic_dstm () =
+  let o = run_scenario_algo Stm.Algo.Dstm "parasitic-only" 5 in
+  let r0 = List.nth o.Runner.o_reports 0 in
+  Alcotest.(check string) "dstm: the parasite is parasitic"
+    (Pc.cls_label Pc.Parasitic)
+    (Pc.cls_label r0.Runner.rep_observed);
+  check_peers "dstm parasitic-only" o Pc.Progressing
+
+let test_run_parasitic_glock () =
+  let o = run_scenario_algo Stm.Algo.Global_lock "parasitic-only" 5 in
+  let r0 = List.nth o.Runner.o_reports 0 in
+  Alcotest.(check string) "global-lock: the parasite is parasitic"
+    (Pc.cls_label Pc.Parasitic)
+    (Pc.cls_label r0.Runner.rep_observed);
+  check_peers "global-lock parasitic-only" o Pc.Starving
+
+(* Per-algorithm traces still pass the analyzer: the dstm verdicts
+   agree outright, and the glock parasite's starving verdict is the
+   announced-expectation case of the chaos-class rule. *)
+let test_run_per_algo_traces_lint_clean () =
+  List.iter
+    (fun (algo, scenario, seed) ->
+      let o = run_scenario_algo algo scenario seed in
+      Alcotest.(check int)
+        (Fmt.str "%s %s trace passes the analyzer" (Stm.Algo.name algo)
+           scenario)
+        0
+        (List.length
+           (Tm_analysis.Engine.run_trace ~subject:"chaos" o.Runner.o_events)))
+    [
+      (Stm.Algo.Dstm, "crash-holding-locks", 7);
+      (Stm.Algo.Global_lock, "parasitic-only", 5);
+    ]
 
 let test_run_trace_byte_identical () =
   let bytes () =
@@ -242,8 +379,8 @@ let prop_plan_deterministic =
   QCheck.Test.make ~count:200 ~name:"same inputs, same schedule bytes"
     arb_plan_inputs (fun (scenario, seed, domains) ->
       match
-        ( Plan.make ~scenario ~seed ~domains,
-          Plan.make ~scenario ~seed ~domains )
+        ( Plan.make ~scenario ~seed ~domains (),
+          Plan.make ~scenario ~seed ~domains () )
       with
       | Ok a, Ok b ->
           Plan.render_schedule a = Plan.render_schedule b
@@ -254,7 +391,7 @@ let prop_plan_deterministic =
 let prop_plan_roundtrips =
   QCheck.Test.make ~count:100 ~name:"schedule survives a chrome round-trip"
     arb_plan_inputs (fun (scenario, seed, domains) ->
-      match Plan.make ~scenario ~seed ~domains with
+      match Plan.make ~scenario ~seed ~domains () with
       | Error _ -> false
       | Ok p -> (
           let s = Tm_trace.Export.chrome_string (Plan.trace_events p) in
@@ -271,6 +408,8 @@ let () =
             test_plan_scenarios_documented;
           Alcotest.test_case "shapes" `Quick test_plan_shapes;
           Alcotest.test_case "expected classes" `Quick test_plan_expectations;
+          Alcotest.test_case "expected classes per algorithm" `Quick
+            test_plan_expectations_per_algo;
           Alcotest.test_case "errors" `Quick test_plan_errors;
           Alcotest.test_case "trace events deterministic" `Quick
             test_plan_trace_events_deterministic;
@@ -285,6 +424,8 @@ let () =
             test_chaos_rule_mismatch;
           Alcotest.test_case "unbacked verdict" `Quick
             test_chaos_rule_unbacked_verdict;
+          Alcotest.test_case "announced parasitic divergence" `Quick
+            test_chaos_rule_announced_parasitic_divergence;
           Alcotest.test_case "faultless traces exempt" `Quick
             test_chaos_rule_ignores_faultless_traces;
         ] );
@@ -294,6 +435,18 @@ let () =
             test_run_crash_holding_locks;
           Alcotest.test_case "parasitic-only leaves peers progressing" `Quick
             test_run_parasitic_only;
+          Alcotest.test_case "dstm peers survive the crashed lock holder"
+            `Quick test_run_crash_holding_locks_dstm;
+          Alcotest.test_case "global-lock peers starve behind the crash"
+            `Quick test_run_crash_holding_locks_glock;
+          Alcotest.test_case "global-lock: clean crash strands the serializer"
+            `Quick test_run_crash_clean_glock;
+          Alcotest.test_case "dstm isolates the parasite" `Quick
+            test_run_parasitic_dstm;
+          Alcotest.test_case "global-lock parasite starves its peers" `Quick
+            test_run_parasitic_glock;
+          Alcotest.test_case "per-algorithm traces pass the analyzer" `Quick
+            test_run_per_algo_traces_lint_clean;
           Alcotest.test_case "trace byte-identical across runs" `Quick
             test_run_trace_byte_identical;
           Alcotest.test_case "trace passes the analyzer" `Quick

@@ -446,6 +446,270 @@ let test_stats_move () =
   let after_c, _ = Stm.stats () in
   Alcotest.(check bool) "commit counted" true (after_c > before_c)
 
+(* ------------------------------------------------------------------ *)
+(* The algorithm zoo: every core behind [Stm.Algo] must pass the same
+   semantics, the same snapshot-consistency stress, and keep its
+   telemetry/chaos seam labels truthful. *)
+
+let test_zoo_semantics () =
+  List.iter
+    (fun a ->
+      let name = Stm.Algo.name a in
+      Stm.with_algo a (fun () ->
+          let v = Stm.tvar 1 in
+          let r =
+            Stm.atomically (fun () ->
+                Stm.write v (Stm.read v + 10);
+                Stm.read v)
+          in
+          Alcotest.(check int) (name ^ ": reads own write") 11 r;
+          Alcotest.(check int) (name ^ ": committed") 11 (Stm.read v);
+          (try
+             Stm.atomically (fun () ->
+                 Stm.write v 99;
+                 raise Exit)
+           with Exit -> ());
+          Alcotest.(check int) (name ^ ": rollback on exception") 11 (Stm.read v);
+          let s = Stm.tvar "x" and l = Stm.tvar [ 1 ] in
+          Stm.atomically (fun () ->
+              Stm.write s (Stm.read s ^ "y");
+              Stm.write l (2 :: Stm.read l);
+              (* flat nesting must join the enclosing transaction *)
+              Stm.atomically (fun () -> Stm.write l (3 :: Stm.read l)));
+          Alcotest.(check string) (name ^ ": polymorphic string") "xy"
+            (Stm.read s);
+          Alcotest.(check (list int)) (name ^ ": nested flattens") [ 3; 2; 1 ]
+            (Stm.read l)))
+    Stm.Algo.all
+
+(* The per-algorithm phase mapping (Algo.tel_phases) is a promise that
+   telemetry labels stay truthful: a histogram named "lock-acquire"
+   under NOrec would measure a phase the algorithm does not have.
+   Record every phase each core actually emits on a write commit and a
+   conflict-free read, and check it against the declared mapping —
+   including the load-bearing negatives. *)
+let test_zoo_phase_mapping () =
+  List.iter
+    (fun a ->
+      let name = Stm.Algo.name a in
+      let seen : (Stm.Tel.phase, unit) Hashtbl.t = Hashtbl.create 8 in
+      let probe =
+        {
+          Stm.Tel.now = (fun () -> 0);
+          count = (fun p -> Hashtbl.replace seen p ());
+          observe = (fun p _ -> Hashtbl.replace seen p ());
+        }
+      in
+      Stm.with_algo a (fun () ->
+          Stm.Tel.install probe;
+          Fun.protect ~finally:Stm.Tel.uninstall (fun () ->
+              let v = Stm.tvar 0 in
+              Stm.atomically (fun () -> Stm.write v (Stm.read v + 1))));
+      let allowed = Stm.Algo.tel_phases a in
+      Hashtbl.iter
+        (fun p () ->
+          if not (List.mem p allowed) then
+            Alcotest.failf "%s emitted phase %S outside its declared mapping"
+              name (Stm.Tel.phase_label p))
+        seen;
+      let has p = Hashtbl.mem seen p in
+      Alcotest.(check bool) (name ^ ": counts Begin") true (has Stm.Tel.Begin);
+      Alcotest.(check bool) (name ^ ": counts Read") true (has Stm.Tel.Read);
+      Alcotest.(check bool) (name ^ ": observes Publish") true
+        (has Stm.Tel.Publish);
+      Alcotest.(check bool) (name ^ ": observes Commit") true
+        (has Stm.Tel.Commit);
+      match a with
+      | Stm.Algo.Tl2 ->
+          Alcotest.(check bool) "tl2: observes Lock" true (has Stm.Tel.Lock);
+          Alcotest.(check bool) "tl2: observes Validate" true
+            (has Stm.Tel.Validate)
+      | Stm.Algo.Global_lock ->
+          Alcotest.(check bool) "global-lock: observes Lock" true
+            (has Stm.Tel.Lock);
+          Alcotest.(check bool) "global-lock: never Validate" false
+            (has Stm.Tel.Validate)
+      | Stm.Algo.Dstm | Stm.Algo.Norec ->
+          Alcotest.(check bool) (name ^ ": observes Validate") true
+            (has Stm.Tel.Validate);
+          Alcotest.(check bool) (name ^ ": never per-location Lock") false
+            (has Stm.Tel.Lock))
+    Stm.Algo.all
+
+(* Same truthfulness contract for the chaos interception points. *)
+let test_zoo_chaos_points () =
+  List.iter
+    (fun a ->
+      let name = Stm.Algo.name a in
+      let seen : (Stm.Chaos.point, unit) Hashtbl.t = Hashtbl.create 8 in
+      Stm.Chaos.install (fun p ->
+          Hashtbl.replace seen p ();
+          Stm.Chaos.Proceed);
+      Fun.protect ~finally:Stm.Chaos.uninstall (fun () ->
+          Stm.with_algo a (fun () ->
+              let v = Stm.tvar 0 in
+              Stm.atomically (fun () -> Stm.write v (Stm.read v + 1))));
+      let allowed = Stm.Algo.chaos_points a in
+      Hashtbl.iter
+        (fun p () ->
+          if not (List.mem p allowed) then
+            Alcotest.failf "%s fired point %S outside its declared mapping"
+              name
+              (Stm.Chaos.point_label p))
+        seen;
+      let has p = Hashtbl.mem seen p in
+      Alcotest.(check bool) (name ^ ": fires Read") true (has Stm.Chaos.Read);
+      Alcotest.(check bool) (name ^ ": fires Pre_commit") true
+        (has Stm.Chaos.Pre_commit);
+      Alcotest.(check bool) (name ^ ": fires Post_commit") true
+        (has Stm.Chaos.Post_commit);
+      if a = Stm.Algo.Norec then
+        Alcotest.(check bool) "norec: never Lock_acquire" false
+          (has Stm.Chaos.Lock_acquire);
+      if a = Stm.Algo.Global_lock then
+        Alcotest.(check bool) "global-lock: never Validate" false
+          (has Stm.Chaos.Validate))
+    Stm.Algo.all
+
+let zoo_parallel_counter a () =
+  Stm.with_algo a (fun () ->
+      let v = Stm.tvar 0 in
+      let iters = 1500 in
+      spawn_all
+        (List.init ndomains (fun _ () ->
+             for _ = 1 to iters do
+               Stm.atomically (fun () -> Stm.write v (Stm.read v + 1))
+             done));
+      Alcotest.(check int)
+        (Stm.Algo.name a ^ ": no lost updates")
+        (ndomains * iters) (Stm.read v))
+
+(* The opacity stress of [test_bank_snapshot_consistency], generalized
+   over the zoo: workers fire transfers while an observer sums every
+   account twice inside one transaction — a torn snapshot shows up as
+   the two sums differing or the invariant breaking. *)
+let zoo_bank_snapshot a () =
+  Stm.with_algo a (fun () ->
+      let accounts = 8 and initial = 50 in
+      let bank = Tm_stm.Txn_bank.make ~accounts ~initial in
+      let expected_total = accounts * initial in
+      let workers_done = Atomic.make 0 in
+      let violations = Atomic.make 0 in
+      let workers =
+        List.init (ndomains - 1) (fun d () ->
+            let st = ref ((d * 11) + 3) in
+            let rand bound =
+              st := (!st * 1103515245) + 12345;
+              abs !st mod bound
+            in
+            for _ = 1 to 1200 do
+              let x = rand accounts in
+              let y = (x + 1 + rand (accounts - 1)) mod accounts in
+              ignore
+                (Tm_stm.Txn_bank.transfer bank ~from_:x ~to_:y
+                   ~amount:(1 + rand 5))
+            done;
+            Atomic.incr workers_done)
+      in
+      let observer () =
+        while Atomic.get workers_done < ndomains - 1 do
+          let s1, s2 =
+            Stm.atomically (fun () ->
+                let sum () =
+                  let acc = ref 0 in
+                  for i = 0 to accounts - 1 do
+                    acc := !acc + Tm_stm.Txn_bank.balance bank i
+                  done;
+                  !acc
+                in
+                let a = sum () in
+                let b = sum () in
+                (a, b))
+          in
+          if s1 <> s2 || s1 <> expected_total then Atomic.incr violations
+        done
+      in
+      spawn_all (observer :: workers);
+      Alcotest.(check int)
+        (Stm.Algo.name a ^ ": no inconsistent snapshot")
+        0 (Atomic.get violations);
+      Alcotest.(check int)
+        (Stm.Algo.name a ^ ": invariant after the storm")
+        expected_total
+        (Tm_stm.Txn_bank.total bank))
+
+(* Named regression: DSTM abort-others stealing must not livelock.  Two
+   domains write the same two t-variables in opposite orders, the
+   adversarial pattern where each transaction steals the other's
+   ownership and both could abort each other forever.  The facade's
+   randomized backoff breaks the symmetry; both workers must finish
+   with no lost updates. *)
+let test_dstm_steal_livelock () =
+  Stm.with_algo Stm.Algo.Dstm (fun () ->
+      let a = Stm.tvar 0 and b = Stm.tvar 0 in
+      let iters = 1000 in
+      spawn_all
+        [
+          (fun () ->
+            for _ = 1 to iters do
+              Stm.atomically (fun () ->
+                  Stm.write a (Stm.read a + 1);
+                  Stm.write b (Stm.read b + 1))
+            done);
+          (fun () ->
+            for _ = 1 to iters do
+              Stm.atomically (fun () ->
+                  Stm.write b (Stm.read b + 1);
+                  Stm.write a (Stm.read a + 1))
+            done);
+        ];
+      Alcotest.(check (pair int int))
+        "mutual stealers both complete with no lost updates"
+        (2 * iters, 2 * iters)
+        (Stm.read a, Stm.read b))
+
+(* Named regression: NOrec value-based validation.  Two traps in one:
+   (a) t-variables may hold closures (txn_map nodes carry comparison
+   functions), where structural equality raises — validation must use
+   physical equality; (b) a flipper swaps two integers back and forth,
+   the ABA pattern value-based validation admits by design — admitting
+   it must still never show an observer a torn (sum <> invariant)
+   snapshot. *)
+let test_norec_value_validation_aba () =
+  Stm.with_algo Stm.Algo.Norec (fun () ->
+      let f0 x = x + 1 and f1 x = x * 2 in
+      let fv = Stm.tvar f0 in
+      let a = Stm.tvar 0 and b = Stm.tvar 1 in
+      (* invariant: a + b = 1 *)
+      let stop = Atomic.make false in
+      let violations = Atomic.make 0 in
+      let flipper () =
+        for i = 1 to 4000 do
+          Stm.atomically (fun () ->
+              let x = Stm.read a in
+              Stm.write a (Stm.read b);
+              Stm.write b x;
+              Stm.write fv (if i land 1 = 0 then f0 else f1))
+        done;
+        Atomic.set stop true
+      in
+      let observer () =
+        while not (Atomic.get stop) do
+          let s =
+            Stm.atomically (fun () ->
+                let g = Stm.read fv in
+                ignore (g 1);
+                Stm.read a + Stm.read b)
+          in
+          if s <> 1 then Atomic.incr violations
+        done
+      in
+      spawn_all [ flipper; observer ];
+      Alcotest.(check int) "no torn snapshot under value validation" 0
+        (Atomic.get violations);
+      Alcotest.(check int) "invariant holds at the end" 1
+        (Stm.read a + Stm.read b))
+
 let () =
   Alcotest.run "tm_stm"
     [
@@ -481,6 +745,30 @@ let () =
             test_lock_stm_every_txn_commits;
           Alcotest.test_case "parallel counter" `Slow
             test_lock_stm_parallel_counter;
+        ] );
+      ( "algorithm zoo",
+        [
+          Alcotest.test_case "semantics, every core" `Quick test_zoo_semantics;
+          Alcotest.test_case "telemetry phase mapping truthful" `Quick
+            test_zoo_phase_mapping;
+          Alcotest.test_case "chaos point mapping truthful" `Quick
+            test_zoo_chaos_points;
+          Alcotest.test_case "global-lock parallel counter" `Slow
+            (zoo_parallel_counter Stm.Algo.Global_lock);
+          Alcotest.test_case "dstm parallel counter" `Slow
+            (zoo_parallel_counter Stm.Algo.Dstm);
+          Alcotest.test_case "norec parallel counter" `Slow
+            (zoo_parallel_counter Stm.Algo.Norec);
+          Alcotest.test_case "global-lock bank snapshot" `Slow
+            (zoo_bank_snapshot Stm.Algo.Global_lock);
+          Alcotest.test_case "dstm bank snapshot" `Slow
+            (zoo_bank_snapshot Stm.Algo.Dstm);
+          Alcotest.test_case "norec bank snapshot" `Slow
+            (zoo_bank_snapshot Stm.Algo.Norec);
+          Alcotest.test_case "dstm abort-stealing livelock" `Slow
+            test_dstm_steal_livelock;
+          Alcotest.test_case "norec value-validation ABA" `Slow
+            test_norec_value_validation_aba;
         ] );
       ( "multicore stress",
         [
