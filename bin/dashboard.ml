@@ -36,7 +36,41 @@ let phase_rows =
     ("abort", "tm_stm_abort_ns");
   ]
 
-let render ~plain ~plan ~frame ~frames ~period ~prev snap =
+(* The blame panel: the heaviest live who-aborted-whom edges and each
+   domain's progress watermark.  Raw weights are fine here — this is
+   the human view; the deterministic classification is `tmlive blame`'s
+   job. *)
+let render_blame g =
+  let module Bg = Tel.Blame_graph in
+  Bg.refresh g;
+  Fmt.pr "@.blame graph (events=%d):@." (Bg.clock g);
+  let slot = function -1 -> "d?" | d -> "d" ^ string_of_int d in
+  let edges =
+    List.sort
+      (fun (_, _, a) (_, _, b) -> Int.compare b a)
+      (Bg.edges g)
+  in
+  let top = List.filteri (fun i _ -> i < 6) edges in
+  if top = [] then Fmt.pr "  (no blame events yet)@."
+  else
+    List.iter
+      (fun (v, a, n) ->
+        let causes =
+          String.concat ", "
+            (List.map
+               (fun (c, k) ->
+                 Fmt.str "%s=%d" (Tm_stm.Stm.Blame.cause_label c) k)
+               (Bg.edge_causes g ~victim:v ~aggressor:a))
+        in
+        Fmt.pr "  %-4s -> %-4s %8d  [%s]@." (slot v) (slot a) n causes)
+      top;
+  Fmt.pr "  wait-age:";
+  for d = 0 to Bg.domains g - 1 do
+    Fmt.pr " d%d=%d" d (Bg.wait_age g d)
+  done;
+  Fmt.pr "@."
+
+let render ~plain ~plan ~frame ~frames ~period ~prev ~blame snap =
   if not plain then print_string "\027[2J\027[H";
   let nd = plan.Plan.domains in
   let rate cur pre = float (max 0 (cur - pre)) /. period in
@@ -86,6 +120,7 @@ let render ~plain ~plan ~frame ~frames ~period ~prev snap =
               h.Tel.Instrument.count (q 0.50) (q 0.90) (q 0.99)
               (Fmt.str "%a" pp_ns h.Tel.Instrument.max_sample))
     phase_rows;
+  (match blame with Some g -> render_blame g | None -> ());
   Fmt.pr "%!"
 
 let run ~algo ~scenario ~seed ~domains ~tvars ~period ~frames ~plain
@@ -100,12 +135,19 @@ let run ~algo ~scenario ~seed ~domains ~tvars ~period ~frames ~plain
           (fun file -> Cli_common.telemetry_writer file telemetry_format)
           telemetry
       in
+      (* Redrawing in place needs a terminal; piped output falls back to
+         plain mode, and plain mode without a terminal renders only the
+         final frame — a log or CI capture gets one coherent summary
+         instead of interleaved partial frames. *)
+      let tty = Unix.isatty Unix.stdout in
+      let plain = plain || not tty in
       let reg = Tel.Registry.create () in
       ignore (Tel.Stm_probe.install reg);
       Fun.protect
         ~finally:(fun () -> Tel.Stm_probe.uninstall ())
         (fun () ->
-          Runner.with_session ~tvars ~registry:reg plan (fun ses ->
+          Runner.with_session ~tvars ~blame:true ~registry:reg plan (fun ses ->
+              let blame = Runner.session_blame ses in
               let t0 = Unix.gettimeofday () in
               let prev = ref None in
               for frame = 1 to frames do
@@ -115,9 +157,12 @@ let run ~algo ~scenario ~seed ~domains ~tvars ~period ~frames ~plain
                 let ts =
                   int_of_float ((Unix.gettimeofday () -. t0) *. 1000.)
                 in
+                Option.iter Tel.Blame_graph.refresh blame;
                 let snap = Tel.Registry.scrape reg ~ts in
                 (match tel with Some (add, _) -> add snap | None -> ());
-                render ~plain ~plan ~frame ~frames ~period ~prev:!prev snap;
+                if tty || frame = frames then
+                  render ~plain ~plan ~frame ~frames ~period ~prev:!prev
+                    ~blame snap;
                 prev := Some snap
               done));
       (match tel with Some (_, flush) -> flush () | None -> ())

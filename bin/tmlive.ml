@@ -1031,6 +1031,244 @@ let chaos_cmd =
       $ tvars $ warmup $ window $ format $ out $ trace_file $ telemetry
       $ telemetry_format)
 
+(* ------------------------------------------------------------------ *)
+
+(* Blame renderers.  The canonical document (JSON and DOT) carries the
+   scenario identity, the verdict gate and the classification — shape
+   plus per-domain verdict/evidence — and nothing else: raw edge
+   weights of a real multicore run vary run to run, while the
+   wide-margin structure [Blame_graph.classify] extracts does not, so
+   two same-seed runs emit byte-identical documents (the CI determinism
+   gate [cmp]s them).  The weighted graph itself is in the human table
+   and the telemetry export. *)
+
+module Bg = Tm_telemetry.Blame_graph
+
+let blame_json (o : Tm_chaos.Runner.outcome) shape evidence =
+  let plan = o.Tm_chaos.Runner.o_plan in
+  let b = Buffer.create 512 in
+  Printf.bprintf b
+    "{\"scenario\":%S,\"algo\":%S,\"seed\":%d,\"domains\":%d,\"ok\":%b,\"shape\":%S,\"blame\":["
+    plan.Tm_chaos.Plan.scenario
+    (Tm_stm.Stm.Algo.name plan.Tm_chaos.Plan.algo)
+    plan.Tm_chaos.Plan.seed plan.Tm_chaos.Plan.domains
+    o.Tm_chaos.Runner.o_ok (Bg.shape_label shape);
+  List.iteri
+    (fun d (r : Tm_chaos.Runner.report) ->
+      if d > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "{\"domain\":%d,\"verdict\":%S,\"evidence\":%S}" d
+        (Tm_liveness.Process_class.cls_label r.Tm_chaos.Runner.rep_observed)
+        (Bg.evidence_label evidence.(d)))
+    o.Tm_chaos.Runner.o_reports;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let blame_dot (o : Tm_chaos.Runner.outcome) shape evidence =
+  let plan = o.Tm_chaos.Runner.o_plan in
+  let b = Buffer.create 512 in
+  Printf.bprintf b "digraph blame {\n  rankdir=LR;\n";
+  Printf.bprintf b "  label=\"%s/%s seed=%d shape=%s\";\n"
+    plan.Tm_chaos.Plan.scenario
+    (Tm_stm.Stm.Algo.name plan.Tm_chaos.Plan.algo)
+    plan.Tm_chaos.Plan.seed (Bg.shape_label shape);
+  let color r =
+    match r.Tm_chaos.Runner.rep_observed with
+    | Tm_liveness.Process_class.Crashed -> "gray"
+    | Tm_liveness.Process_class.Parasitic -> "orange"
+    | Tm_liveness.Process_class.Starving -> "red"
+    | Tm_liveness.Process_class.Progressing -> "green"
+  in
+  List.iteri
+    (fun d (r : Tm_chaos.Runner.report) ->
+      Printf.bprintf b
+        "  d%d [label=\"d%d\\n%s\\n%s\", style=filled, fillcolor=%s];\n" d d
+        (Tm_liveness.Process_class.cls_label r.Tm_chaos.Runner.rep_observed)
+        (Bg.evidence_label evidence.(d))
+        (color r))
+    o.Tm_chaos.Runner.o_reports;
+  Array.iteri
+    (fun d e ->
+      match e with
+      | Bg.E_starved_by a when a >= 0 -> Printf.bprintf b "  d%d -> d%d;\n" d a
+      | _ -> ())
+    evidence;
+  (match shape with
+  | Bg.Cycle ->
+      Buffer.add_string b
+        "  // mutual dominance among live domains (cycle)\n"
+  | _ -> ());
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let blame_table ppf (o : Tm_chaos.Runner.outcome) (g : Bg.t) shape evidence =
+  Fmt.pf ppf "%a" Tm_chaos.Runner.pp_table o;
+  Fmt.pf ppf "blame graph (events=%d, shape=%s):@." (Bg.clock g)
+    (Bg.shape_label shape);
+  List.iter
+    (fun (v, a, n) ->
+      let causes =
+        String.concat ", "
+          (List.map
+             (fun (c, k) ->
+               Fmt.str "%s=%d" (Tm_stm.Stm.Blame.cause_label c) k)
+             (Bg.edge_causes g ~victim:v ~aggressor:a))
+      in
+      Fmt.pf ppf "  d%s -> d%s  %6d  [%s]@."
+        (if v < 0 then "?" else string_of_int v)
+        (if a < 0 then "?" else string_of_int a)
+        n causes)
+    (Bg.edges g);
+  Fmt.pf ppf "watermarks:@.";
+  for d = 0 to Bg.domains g - 1 do
+    Fmt.pf ppf "  d%d  commits=%-8d last-commit=%-10d wait-age=%-10d %s@." d
+      (Bg.commits g d) (Bg.last_commit g d) (Bg.wait_age g d)
+      (Bg.evidence_label evidence.(d))
+  done
+
+let blame_cmd =
+  let run algo scenario seed domains tvars warmup window format out trace_file
+      telemetry telemetry_format =
+    match Tm_chaos.Plan.make ~algo ~scenario ~seed ~domains () with
+    | Error m ->
+        Fmt.epr "error: %s@." m;
+        exit 2
+    | Ok plan -> (
+        let tel =
+          Option.map
+            (fun file -> telemetry_writer file telemetry_format)
+            telemetry
+        in
+        let o =
+          Tm_chaos.Runner.run ~blame:true ~tvars ~warmup ~window
+            ?on_sample:(Option.map fst tel) plan
+        in
+        match o.Tm_chaos.Runner.o_blame with
+        | None -> Fmt.epr "error: blame graph missing@."; exit 2
+        | Some g ->
+            let classes =
+              Array.of_list
+                (List.map
+                   (fun (r : Tm_chaos.Runner.report) ->
+                     r.Tm_chaos.Runner.rep_observed)
+                   o.Tm_chaos.Runner.o_reports)
+            in
+            let shape, evidence = Bg.classify g ~classes in
+            (match format with
+            | `Table -> blame_table Fmt.stdout o g shape evidence
+            | `Json -> Fmt.pr "%s@." (blame_json o shape evidence)
+            | `Dot -> Fmt.pr "%s" (blame_dot o shape evidence));
+            (match tel with None -> () | Some (_, flush) -> flush ());
+            (match out with
+            | None -> ()
+            | Some file ->
+                let doc =
+                  if Filename.check_suffix file ".dot" then
+                    blame_dot o shape evidence
+                  else blame_json o shape evidence ^ "\n"
+                in
+                let oc = open_out file in
+                output_string oc doc;
+                close_out oc;
+                Fmt.epr "blame document written to %s@." file);
+            (match trace_file with
+            | None -> ()
+            | Some file ->
+                let label =
+                  Fmt.str "blame/%s/%s/seed=%d" scenario
+                    (Tm_stm.Stm.Algo.name algo)
+                    seed
+                in
+                let events =
+                  metadata_event ~pid:0 label :: o.Tm_chaos.Runner.o_events
+                in
+                write_trace_file file events;
+                Fmt.epr "trace: %d events written to %s@."
+                  (List.length events) file);
+            exit (if o.Tm_chaos.Runner.o_ok then 0 else 1))
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt scenario_conv "crash-holding-locks"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Fault scenario to inject (see $(b,chaos --list)).")
+  in
+  let seed = seed_arg () in
+  let domains =
+    Arg.(
+      value & opt int 4
+      & info [ "d"; "domains" ] ~doc:"Worker domains to spawn (>= 2).")
+  in
+  let tvars = ntvars_arg () in
+  let warmup =
+    Arg.(
+      value & opt float 0.05
+      & info [ "warmup" ] ~docv:"SECONDS"
+          ~doc:"Settle time before the first watchdog sample.")
+  in
+  let window =
+    Arg.(
+      value & opt float 0.15
+      & info [ "window" ] ~docv:"SECONDS"
+          ~doc:"Observation window between the two watchdog samples.")
+  in
+  let format =
+    let fmt_conv : [ `Table | `Json | `Dot ] Arg.conv =
+      Arg.enum [ ("table", `Table); ("json", `Json); ("dot", `Dot) ]
+    in
+    Arg.(
+      value & opt fmt_conv `Table
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Attribution on stdout: $(b,table) (verdicts, the weighted \
+             who-aborted-whom edges with per-cause counts, and the \
+             progress watermarks), $(b,json) (the canonical \
+             classification document) or $(b,dot) (Graphviz digraph of \
+             the classification).  The JSON and DOT forms carry only the \
+             deterministic classification; the raw weights are in the \
+             table and the telemetry export.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Also write the canonical document here (CI artifact): DOT if \
+             $(i,FILE) ends in $(b,.dot), JSON otherwise.")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's trace here as Chrome trace_event JSON: the \
+             planned fault schedule, the verdict instants, and one \
+             $(b,blame-evidence) instant per domain — the input of the \
+             $(b,analyze) $(b,blame) rule.")
+  in
+  let telemetry =
+    telemetry_arg
+      ~doc:
+        "Export the run's telemetry here ($(b,-) for stdout), including \
+         the full $(b,tm_blame_events_total) edge matrix, per-domain \
+         commit watermarks and $(b,tm_blame_wait_age) gauges."
+      ()
+  in
+  let telemetry_format = telemetry_format_arg () in
+  Cmd.v
+    (Cmd.info "blame"
+       ~doc:
+         "Run a fault scenario with the blame-attribution seam armed and \
+          reduce the who-aborted-whom graph to its deterministic \
+          classification: per-domain evidence (crashed / parasitic / \
+          starved-by / contended / quiet) and a global shape (star / \
+          cycle / none).  Exits 1 on any chaos-verdict mismatch.")
+    Term.(
+      const run $ algo_arg () $ scenario $ seed $ domains $ tvars $ warmup
+      $ window $ format $ out $ trace_file $ telemetry $ telemetry_format)
+
 let top_cmd =
   let run algo scenario seed domains tvars period frames plain telemetry
       telemetry_format =
@@ -1101,7 +1339,7 @@ let () =
        (Cmd.group info
           [
             zoo_cmd; figures_cmd; simulate_cmd; game_cmd; matrix_cmd;
-            monitor_cmd; sweep_cmd; trace_cmd; chaos_cmd; top_cmd;
+            monitor_cmd; sweep_cmd; trace_cmd; chaos_cmd; blame_cmd; top_cmd;
             analyze_cmd; model_check_cmd; explore_cmd; crash_windows_cmd;
             dump_cmd; check_cmd;
           ]))

@@ -116,6 +116,14 @@ let rules =
       doc =
         "an injected chaos fault disagrees with the empirical verdict events";
     };
+    {
+      id = "blame";
+      family = Trace_rule;
+      severity = Finding.Error;
+      doc =
+        "blame-attribution evidence disagrees with the chaos verdicts or \
+         leaves a starvation unattributed";
+    };
   ]
 
 let rule_ids = List.map (fun r -> r.id) rules

@@ -303,6 +303,96 @@ let chaos_lane_findings ~subject events =
     !fs
   end
 
+(* Blame cross-check.  With the blame seam armed the chaos runner
+   appends one evidence instant per domain (category [Monitor], name
+   [blame-evidence], args [evidence]/[shape]) computed from the blame
+   graph by [Blame_graph.classify].  Evidence and verdict are two views
+   of the same run and must cohere:
+
+   - crashed/parasitic/progressing evidence and the same-named verdict
+     imply each other (classification is verdict-first, so a
+     disagreement means the trace was tampered with or mis-assembled);
+   - a starving verdict must come with starving-side evidence
+     ([starved-by:*], [contended] or [quiet]) — enforced by the
+     implications above — and when it is [starved-by:*] the
+     attribution must be causally plausible:
+     a starving domain may not pin >= 90% of its blame on a fault-free
+     domain that is itself classified progressing — in every fault
+     scenario the dominator of a starved domain is the injected faulty
+     one (or another victim), so a healthy dominator is a
+     mis-attributed edge.
+
+   Lanes without blame-evidence events (blame off, plain traces)
+   produce no findings. *)
+let blame_lane_findings ~subject events =
+  let faults : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let verdicts : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  let evidence : (int, string * int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Tev.t) ->
+      match (e.Tev.cat, e.Tev.name, e.Tev.phase) with
+      | Tev.Fault, ("chaos-crash" | "chaos-parasitic"), Tev.Instant ->
+          Hashtbl.replace faults e.Tev.tid ()
+      | Tev.Monitor, "chaos-verdict", Tev.Instant -> (
+          match Tev.arg_str e "class" with
+          | Some c -> Hashtbl.replace verdicts e.Tev.tid c
+          | None -> ())
+      | Tev.Monitor, "blame-evidence", Tev.Instant -> (
+          match Tev.arg_str e "evidence" with
+          | Some ev -> Hashtbl.replace evidence e.Tev.tid (ev, e.Tev.ts)
+          | None -> ())
+      | _ -> ())
+    events;
+  if Hashtbl.length evidence = 0 then []
+  else begin
+    let fs = ref [] in
+    let report ts tid msg =
+      fs :=
+        err ~subject ~rule:"blame" ~location:(Finding.At_ts (ts, tid)) msg
+        :: !fs
+    in
+    let starved_by ev =
+      let pre = "starved-by:" in
+      let n = String.length pre in
+      if String.length ev > n && String.sub ev 0 n = pre then
+        int_of_string_opt (String.sub ev n (String.length ev - n))
+      else None
+    in
+    Hashtbl.iter
+      (fun tid (ev, ts) ->
+        match Hashtbl.find_opt verdicts tid with
+        | None -> ()
+        | Some v ->
+            List.iter
+              (fun k ->
+                if v = k && ev <> k then
+                  report ts tid
+                    (Fmt.str
+                       "domain %d is classified %s but its blame evidence \
+                        is %s"
+                       tid k ev)
+                else if ev = k && v <> k then
+                  report ts tid
+                    (Fmt.str
+                       "domain %d has blame evidence %s but is classified \
+                        %s"
+                       tid k v))
+              [ "crashed"; "parasitic"; "progressing" ];
+            match starved_by ev with
+            | Some a
+              when v = "starving"
+                   && (not (Hashtbl.mem faults a))
+                   && Hashtbl.find_opt verdicts a = Some "progressing" ->
+                report ts tid
+                  (Fmt.str
+                     "starving domain %d pins its blame on fault-free \
+                      progressing domain %d"
+                     tid a)
+            | _ -> ())
+      evidence;
+    !fs
+  end
+
 let process ~subject st (e : Tev.t) =
   match (e.Tev.cat, e.Tev.name, e.Tev.phase) with
   | Tev.Lock, "acquire", Tev.Instant -> (
@@ -341,7 +431,9 @@ let lint_trace ~subject events =
         in
         end_of_trace ~subject st last_ts;
         cycle_findings ~subject st;
-        chaos_lane_findings ~subject lane @ st.findings)
+        chaos_lane_findings ~subject lane
+        @ blame_lane_findings ~subject lane
+        @ st.findings)
       (lanes events)
   in
   List.sort Finding.compare findings

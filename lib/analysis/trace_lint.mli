@@ -36,7 +36,14 @@
       ([Monitor] / [chaos-verdict]): every injected crash classified
       crashed, every parasitic turn parasitic, and no crashed/parasitic
       verdict without a matching injected fault.  Lanes without verdict
-      events are exempt.
+      events are exempt;
+    - [blame]: in blame-armed chaos traces, the per-domain
+      attribution evidence ([Monitor] / [blame-evidence], from
+      [Tm_telemetry.Blame_graph.classify]) must cohere with the
+      verdicts: crashed/parasitic/progressing evidence and the
+      same-named verdicts imply each other, and a starving domain may
+      not pin its [starved-by:*] blame on a fault-free progressing
+      domain.  Lanes without blame-evidence events are exempt.
 
     Events are analyzed in logical-timestamp order; the caller is
     responsible for handing over a {e complete} trace (ring-buffer

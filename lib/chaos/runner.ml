@@ -16,6 +16,7 @@ type session = {
   ses_plan : Plan.t;
   ses_registry : Tel.Registry.t;
   ses_liveness : Tel.Liveness_gauge.t;
+  ses_blame : Tel.Blame_graph.t option;
   ses_ops : Tel.Instrument.counter array;
   ses_attempts : Tel.Instrument.counter array;
   ses_trycs : Tel.Instrument.counter array;
@@ -27,6 +28,7 @@ type session = {
 let session_plan ses = ses.ses_plan
 let session_registry ses = ses.ses_registry
 let session_liveness ses = ses.ses_liveness
+let session_blame ses = ses.ses_blame
 
 let session_crashed ses d =
   Tel.Instrument.gauge_value ses.ses_crashed.(d) = 1
@@ -63,6 +65,7 @@ type outcome = {
   o_reports : report list;
   o_ok : bool;
   o_events : Tev.t list;
+  o_blame : Tel.Blame_graph.t option;
 }
 
 (* The handler runs on every worker domain; its per-domain identity
@@ -140,6 +143,9 @@ let worker ~stop ~shared ~mine ~algo ~fault ~parasite_gate ~ops ~injected
     ~attempts ~trycs ~commits ~crashed d () =
   let slot = Domain.DLS.get dls in
   slot := Some { ds_fault = fault; ds_ops = ops; ds_injected = injected };
+  (* Blame identity: plan slot, not raw Domain.self — unconditional
+     (one DLS write per worker lifetime, nothing on the hot path). *)
+  Stm.Blame.set_self d;
   let st = ref (d + 1) in
   let n = Array.length shared in
   let parasitic_from =
@@ -185,12 +191,13 @@ let worker ~stop ~shared ~mine ~algo ~fault ~parasite_gate ~ops ~injected
    with
   | Stop_worker -> ()
   | Stm.Chaos.Crashed -> Tel.Instrument.set_gauge crashed 1);
+  Stm.Blame.set_self (-1);
   slot := None
 
 let counters_of (s : sample) =
   Emp.counters ~ops:s.ops ~trycs:s.trycs ~commits:s.commits ~aborts:s.aborts
 
-let with_session ?(tvars = 4) ?registry (plan : Plan.t) f =
+let with_session ?(tvars = 4) ?(blame = false) ?registry (plan : Plan.t) f =
   let nd = plan.Plan.domains in
   let reg =
     match registry with Some r -> r | None -> Tel.Registry.create ()
@@ -232,11 +239,15 @@ let with_session ?(tvars = 4) ?registry (plan : Plan.t) f =
               - Tel.Instrument.value commits.(d))))
   in
   let liveness = Tel.Liveness_gauge.create reg ~sources in
+  let blame_graph =
+    if blame then Some (Tel.Blame_graph.create reg ~domains:nd) else None
+  in
   let ses =
     {
       ses_plan = plan;
       ses_registry = reg;
       ses_liveness = liveness;
+      ses_blame = blame_graph;
       ses_ops = ops;
       ses_attempts = attempts;
       ses_trycs = trycs;
@@ -271,9 +282,13 @@ let with_session ?(tvars = 4) ?registry (plan : Plan.t) f =
     | Some cd -> fun () -> Tel.Instrument.gauge_value crashed.(cd) = 1
   in
   Stm.Chaos.install handler;
+  Option.iter
+    (fun g -> Stm.Blame.install (Tel.Blame_graph.sink_of g))
+    blame_graph;
   Fun.protect
     ~finally:(fun () ->
       Stm.Chaos.uninstall ();
+      if blame then Stm.Blame.uninstall ();
       (* Workers are joined by now: release core-global locks stranded
          by crashed domains (the serializer, the sequence lock), so a
          crash run cannot starve every later run of the same core in
@@ -302,16 +317,18 @@ let with_session ?(tvars = 4) ?registry (plan : Plan.t) f =
           finish ();
           raise e)
 
-let run ?tvars ?(warmup = 0.05) ?(window = 0.15) ?registry ?on_sample
+let run ?tvars ?blame ?(warmup = 0.05) ?(window = 0.15) ?registry ?on_sample
     (plan : Plan.t) =
   let nd = plan.Plan.domains in
   let scrape ses ts =
     match on_sample with
-    | Some f -> f (Tel.Registry.scrape ses.ses_registry ~ts)
+    | Some f ->
+        Option.iter Tel.Blame_graph.refresh ses.ses_blame;
+        f (Tel.Registry.scrape ses.ses_registry ~ts)
     | None -> ()
   in
   let first, last, ses =
-    with_session ?tvars ?registry plan (fun ses ->
+    with_session ?tvars ?blame ?registry plan (fun ses ->
         Unix.sleepf warmup;
         let first = samples ses in
         (* Baseline the liveness gauge on the exact watchdog samples so
@@ -355,11 +372,36 @@ let run ?tvars ?(warmup = 0.05) ?(window = 0.15) ?registry ?on_sample
           ])
       reports
   in
+  (* With blame armed, the trace additionally carries the graph's
+     stable classification — one evidence instant per domain, each
+     repeating the graph-level shape so the analysis rule needs no
+     cross-event join.  Like the verdicts (and unlike raw edge
+     weights), these are the empirically stable reduction the CI
+     byte-determinism gate compares. *)
+  let blame_events =
+    match ses.ses_blame with
+    | None -> []
+    | Some g ->
+        Tel.Blame_graph.refresh g;
+        let classes =
+          Array.of_list (List.map (fun r -> r.rep_observed) reports)
+        in
+        let shape, evidence = Tel.Blame_graph.classify g ~classes in
+        List.init nd (fun d ->
+            Tev.instant ~ts:h ~tid:d Tev.Monitor "blame-evidence"
+              [
+                ( "evidence",
+                  Tev.Str (Tel.Blame_graph.evidence_label evidence.(d)) );
+                ("shape", Tev.Str (Tel.Blame_graph.shape_label shape));
+                ("algo", Tev.Str (Stm.Algo.name plan.Plan.algo));
+              ])
+  in
   {
     o_plan = plan;
     o_reports = reports;
     o_ok = List.for_all report_ok reports;
-    o_events = Plan.trace_events plan @ verdicts;
+    o_events = Plan.trace_events plan @ verdicts @ blame_events;
+    o_blame = ses.ses_blame;
   }
 
 let delta r f = f r.rep_last - f r.rep_first

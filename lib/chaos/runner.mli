@@ -36,6 +36,10 @@ val session_plan : session -> Plan.t
 val session_registry : session -> Tm_telemetry.Registry.t
 val session_liveness : session -> Tm_telemetry.Liveness_gauge.t
 
+val session_blame : session -> Tm_telemetry.Blame_graph.t option
+(** The blame graph folding [Stm.Blame] events, when the session was
+    opened with [~blame:true]. *)
+
 val sample : session -> int -> sample
 (** Current counter snapshot of one domain. *)
 
@@ -52,7 +56,12 @@ val session_injected : session -> int -> int
     actions). *)
 
 val with_session :
-  ?tvars:int -> ?registry:Tm_telemetry.Registry.t -> Plan.t -> (session -> 'a) -> 'a
+  ?tvars:int ->
+  ?blame:bool ->
+  ?registry:Tm_telemetry.Registry.t ->
+  Plan.t ->
+  (session -> 'a) ->
+  'a
 (** [with_session plan f] selects the plan's STM core ([plan.algo],
     restored after the workers are joined), installs the plan's fault
     handler, spawns one worker domain per plan slot and applies [f] to
@@ -63,7 +72,13 @@ val with_session :
     in the causal order the expectations describe.  [registry] is where the session registers its
     instruments (default: a fresh private one) — pass a shared registry
     to co-locate chaos counters with e.g. {!Tm_telemetry.Stm_probe}
-    phase metrics in one scrape. *)
+    phase metrics in one scrape.
+
+    [blame] (default false) additionally registers a
+    {!Tm_telemetry.Blame_graph} in the session registry and installs
+    its sink as the [Stm.Blame] handler for the session's duration, so
+    every abort/steal/wait decision is attributed (workers bind their
+    plan slot as blame identity either way). *)
 
 type report = {
   rep_domain : int;
@@ -84,11 +99,17 @@ type outcome = {
   o_ok : bool;  (** every report is ok *)
   o_events : Tm_trace.Trace_event.t list;
       (** planned fault instants, then verdict instants ([Monitor] /
-          ["chaos-verdict"], [ts] = {!Plan.horizon}, [tid] = domain) *)
+          ["chaos-verdict"], [ts] = {!Plan.horizon}, [tid] = domain),
+          then — with blame on — evidence instants ([Monitor] /
+          ["blame-evidence"], same [ts], args [evidence]/[shape]/[algo]
+          from {!Tm_telemetry.Blame_graph.classify}) *)
+  o_blame : Tm_telemetry.Blame_graph.t option;
+      (** the session's blame graph, final once [run] returns *)
 }
 
 val run :
   ?tvars:int ->
+  ?blame:bool ->
   ?warmup:float ->
   ?window:float ->
   ?registry:Tm_telemetry.Registry.t ->

@@ -13,6 +13,7 @@ module Tev = Tm_trace.Trace_event
 module Trace = Stm_core.Trace
 module Chaos = Stm_core.Chaos
 module Tel = Stm_core.Tel
+module Blame = Stm_core.Blame
 
 type 'a tvar = 'a Stm_core.tvar
 
@@ -104,6 +105,18 @@ module Algo = struct
         [ Chaos.Read; Chaos.Lock_acquire; Chaos.Pre_commit; Chaos.Post_commit ]
     | Norec ->
         [ Chaos.Read; Chaos.Validate; Chaos.Pre_commit; Chaos.Post_commit ]
+
+  (* Which Blame causes each core can emit (same truthfulness
+     contract).  The absences are structural: only the stealing DSTM
+     core can emit [Stolen]; the serialized cores convert every
+     conflict into spin-budget exhaustion behind their single lock;
+     NOrec additionally revalidates by value ([Validation]); TL2 is
+     the only core with per-location read/lock conflicts. *)
+  let blame_causes = function
+    | Tl2 -> [ Blame.Read_conflict; Blame.Lock_busy; Blame.Validation ]
+    | Global_lock -> [ Blame.Wait_budget ]
+    | Dstm -> [ Blame.Validation; Blame.Stolen ]
+    | Norec -> [ Blame.Validation; Blame.Wait_budget ]
 end
 
 let core_of : Algo.t -> (module Stm_core.S) = function
@@ -191,6 +204,7 @@ let atomically (type a) (f : unit -> a) : a =
               C.commit txn;
               slot := None;
               Atomic.incr commit_count;
+              Blame.progress ();
               if tel then tp.Tel.observe Tel.Commit (tp.Tel.now () - t0);
               end_attempt "commit";
               result
@@ -241,5 +255,14 @@ let atomically (type a) (f : unit -> a) : a =
 let stats () = (Atomic.get commit_count, Atomic.get abort_count)
 
 let recover () =
+  (* A recovery point is also where stranded observation handlers go:
+     a harness that died between [install] and [uninstall] must not
+     leave a chaos plan, telemetry probe or blame sink armed across
+     runs.  All three uninstalls are idempotent, so recovering twice
+     (or recovering after a clean teardown already disarmed them) is
+     harmless. *)
+  Chaos.uninstall ();
+  Tel.uninstall ();
+  Blame.uninstall ();
   let (module C) = Atomic.get selected in
   C.recover ()

@@ -76,7 +76,12 @@ val recover : unit -> unit
     one crashed run would starve every later run of the same core in
     the process.  Only sound while no transaction of the algorithm is
     in flight; per-t-variable state (TL2 vlocks, DSTM locators) is
-    instead recovered by dropping the crashed run's t-variables. *)
+    instead recovered by dropping the crashed run's t-variables.
+
+    [recover] also disarms all three installable observation seams
+    ({!Chaos}, {!Tel}, {!Blame}): a harness that died between install
+    and uninstall must not leave a handler armed across runs.  The
+    uninstalls are idempotent, so [recover] is safe to call twice. *)
 
 (** The algorithm zoo: which core {!atomically} runs. *)
 module Algo : sig
@@ -110,6 +115,13 @@ module Algo : sig
   (** The {!Chaos.point}s this core fires, same contract.  The
       global-lock core never fires [Validate]; NOrec never fires
       [Lock_acquire]. *)
+
+  val blame_causes : t -> Stm_core.Blame.cause list
+  (** The {!Blame.cause}s this core can emit, same truthfulness
+      contract.  Only the stealing DSTM core can emit [Stolen]; the
+      serialized cores (global-lock, NOrec) convert conflicts into
+      [Wait_budget] behind their single lock; TL2 is the only core
+      with per-location [Read_conflict]/[Lock_busy]. *)
 end
 
 val set_algo : Algo.t -> unit
@@ -269,4 +281,80 @@ module Tel : sig
   val phase_label : phase -> string
   (** ["begin"], ["read"], ["lock-acquire"], ["validate"],
       ["publish"], ["commit"], ["abort"]. *)
+end
+
+(** Blame attribution seam — who aborted (or is impeding) whom.
+
+    Fourth user of the null-by-default discipline of {!Trace}, {!Chaos}
+    and {!Tel}: while no sink is installed every abort/steal/wait
+    decision site in the cores costs a single atomic flag read, and the
+    per-t-variable ownership words the attribution relies on are never
+    written.  Arming therefore changes what is {e recorded}, never what
+    the algorithms {e decide}.
+
+    An installed sink sees one {!event} per blame-worthy decision —
+    victim slot, aggressor slot, t-variable id, {!cause} — and one
+    [on_progress] tick per successful commit (the progress watermark
+    feed).  Which causes a core can emit is {!Algo.blame_causes}:
+
+    - TL2 blames the last committed writer / current lock holder of the
+      conflicting t-variable ([Read_conflict], [Lock_busy],
+      [Validation]);
+    - DSTM emits [Stolen] from the {e aggressor}'s domain at a
+      successful ownership steal (victim = the installing slot recorded
+      in the locator) and [Validation] at read-set revalidation
+      failures;
+    - the global-lock serializer and NOrec emit [Wait_budget] when a
+      spin behind their single lock exhausts its budget, blaming the
+      slot that last acquired it; NOrec also emits [Validation].
+
+    Identity is the {e plan slot} (0..domains-1) bound with
+    {!set_self} by the harness that owns the run (the chaos runner
+    binds its workers); unslotted domains report -1.  One live
+    transaction per slot makes slot = transaction for attribution.
+    Sinks run on the emitting domain and must be domain-safe and
+    non-blocking; [tm_telemetry]'s [Blame_graph] is the intended
+    implementation. *)
+module Blame : sig
+  type cause = Stm_core.Blame.cause =
+    | Read_conflict  (** TL2: read saw a locked or too-new t-variable *)
+    | Lock_busy  (** TL2: commit-time write-set lock acquisition lost *)
+    | Validation  (** read-set (re)validation failed *)
+    | Stolen  (** DSTM: ownership stolen — victim's commit is doomed *)
+    | Wait_budget  (** spin budget exhausted behind a serialized lock *)
+
+  type event = Stm_core.Blame.event = {
+    b_victim : int;  (** slot whose attempt is impeded (-1 unknown) *)
+    b_aggressor : int;  (** slot held responsible (-1 unknown) *)
+    b_tvar : int;  (** t-variable id the conflict was on (-1 none) *)
+    b_cause : cause;
+  }
+
+  type sink = Stm_core.Blame.sink = {
+    on_event : event -> unit;
+    on_progress : int -> unit;  (** a commit by the given slot *)
+  }
+
+  val null_sink : sink
+
+  val install : sink -> unit
+  (** Install and arm.  Replaces any previously installed sink. *)
+
+  val uninstall : unit -> unit
+  (** Disarm: back to the one-flag-read fast path. *)
+
+  val is_armed : unit -> bool
+
+  val cause_label : cause -> string
+  (** ["read-conflict"], ["lock-busy"], ["validation"], ["stolen"],
+      ["wait-budget"]. *)
+
+  val causes : cause list
+  (** Every cause, in label order — the stable axis of exported
+      histograms. *)
+
+  val set_self : int -> unit
+  (** Bind the calling domain's plan slot (its blame identity). *)
+
+  val self : unit -> int
 end

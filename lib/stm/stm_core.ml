@@ -21,13 +21,23 @@ type univ = exn
    0 = active, 1 = committed, 2 = aborted; transitions are monotone
    and terminal (only 0->1 and 0->2 ever happen).  Non-DSTM cores
    ignore the locator entirely. *)
-type locator = { l_status : int Atomic.t; l_old : univ; mutable l_new : univ }
+type locator = {
+  l_status : int Atomic.t;
+  l_old : univ;
+  mutable l_new : univ;
+  l_owner : int;
+      (* plan slot of the installing transaction's domain when the Blame
+         seam is armed, -1 otherwise — lets a stealer name its victim *)
+}
 
 type 'a tvar = {
   id : int;
   content : 'a Atomic.t;
   vlock : int Atomic.t;
   locator : locator Atomic.t;
+  owner : int Atomic.t;
+      (* plan slot of the last lock holder / committed writer, written
+         only while the Blame seam is armed (-1 = unknown) *)
   inj : 'a -> univ;
   proj : univ -> 'a option;
 }
@@ -147,7 +157,9 @@ let tvar (type a) (init : a) : a tvar =
     id = Atomic.fetch_and_add next_id 1;
     content = Atomic.make init;
     vlock = Atomic.make 0;
-    locator = Atomic.make { l_status = root_status; l_old = u0; l_new = u0 };
+    locator =
+      Atomic.make { l_status = root_status; l_old = u0; l_new = u0; l_owner = -1 };
+    owner = Atomic.make (-1);
     inj;
     proj = (function M.E x -> Some x | _ -> None);
   }
@@ -253,6 +265,74 @@ module Tel = struct
     | Abort -> "abort"
 end
 
+(* Blame attribution.  Fourth user of the zero-cost seam discipline:
+   every abort/steal/wait decision site in the cores costs one
+   [Atomic.get] on [armed] while no sink is installed.  When armed, the
+   cores additionally stamp ownership (tvar [owner], locator [l_owner])
+   with the emitter's plan slot so the aggressor of a conflict can be
+   named; disarmed they never touch those words, so the fast path is
+   byte-identical to the pre-blame one.
+
+   Identity is the {e plan slot} (0..domains-1) of the worker's domain,
+   not the raw [Domain.self ()]: the chaos runner assigns slots, one
+   live transaction per slot, so slot = transaction for attribution
+   purposes and the graph is comparable across runs.  Code running
+   outside a slotted worker reports -1 ("unknown"). *)
+module Blame = struct
+  type cause = Read_conflict | Lock_busy | Validation | Stolen | Wait_budget
+
+  type event = {
+    b_victim : int;  (** slot whose attempt is impeded (-1 unknown) *)
+    b_aggressor : int;  (** slot held responsible (-1 unknown) *)
+    b_tvar : int;  (** t-variable id the conflict was on (-1 none) *)
+    b_cause : cause;
+  }
+
+  type sink = { on_event : event -> unit; on_progress : int -> unit }
+
+  let null_sink = { on_event = (fun _ -> ()); on_progress = (fun _ -> ()) }
+  let armed = Atomic.make false
+  let sink = Atomic.make null_sink
+
+  let install s =
+    Atomic.set sink s;
+    Atomic.set armed true
+
+  let uninstall () =
+    Atomic.set armed false;
+    Atomic.set sink null_sink
+
+  let is_armed () = Atomic.get armed
+
+  let cause_label = function
+    | Read_conflict -> "read-conflict"
+    | Lock_busy -> "lock-busy"
+    | Validation -> "validation"
+    | Stolen -> "stolen"
+    | Wait_budget -> "wait-budget"
+
+  let causes =
+    [ Read_conflict; Lock_busy; Validation; Stolen; Wait_budget ]
+
+  let slot_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref (-1))
+  let set_self s = Domain.DLS.get slot_key := s
+  let self () = !(Domain.DLS.get slot_key)
+
+  (* Only called from armed-guarded sites; no second [armed] check.
+     [emit_event] is for the one site where the emitter is the
+     aggressor (the DSTM steal); everywhere else the victim reports
+     its own impediment via [emit]. *)
+  let emit_event ~victim ~aggressor ~tvar cause =
+    (Atomic.get sink).on_event
+      { b_victim = victim; b_aggressor = aggressor; b_tvar = tvar; b_cause = cause }
+
+  let emit ~aggressor ~tvar cause =
+    emit_event ~victim:(self ()) ~aggressor ~tvar cause
+
+  let progress () =
+    if Atomic.get armed then (Atomic.get sink).on_progress (self ())
+end
+
 (* Versioned-lock helpers (TL2's vlock word: even = unlocked, value is
    version << 1; odd = locked by a committing transaction). *)
 let locked v = v land 1 = 1
@@ -289,6 +369,7 @@ type wentry = {
   w_unlock : unit -> unit;
   w_publish : univ -> int -> unit;
   w_set : univ -> unit;
+  w_owner : int Atomic.t;  (* the t-variable's [owner] word *)
 }
 
 let wentry_of tv =
@@ -299,6 +380,7 @@ let wentry_of tv =
     w_unlock = (fun () -> unlock_tvar tv);
     w_publish = (fun u wv -> publish_tvar tv u wv);
     w_set = (fun u -> set_tvar tv u);
+    w_owner = tv.owner;
   }
 
 let find_written (type a) writes (tv : a tvar) : a option =

@@ -12,17 +12,27 @@ type univ = exn
 (** The universal type: values of any ['a] are injected via a
     per-t-variable extensible-variant constructor (no [Obj]). *)
 
-type locator = { l_status : int Atomic.t; l_old : univ; mutable l_new : univ }
+type locator = {
+  l_status : int Atomic.t;
+  l_old : univ;
+  mutable l_new : univ;
+  l_owner : int;
+}
 (** DSTM-style locator.  [l_status] is the owning transaction's status
     cell, shared across all its locators: 0 = active, 1 = committed,
     2 = aborted; transitions are monotone and terminal.  Only the DSTM
-    core reads or writes locators. *)
+    core reads or writes locators.  [l_owner] is the installing
+    domain's plan slot when the {!Blame} seam is armed (-1 otherwise):
+    it lets a stealer name the victim of its abort. *)
 
 type 'a tvar = {
   id : int;
   content : 'a Atomic.t;
   vlock : int Atomic.t;
   locator : locator Atomic.t;
+  owner : int Atomic.t;
+      (** plan slot of the last lock holder / committed writer, written
+          only while {!Blame} is armed (-1 = unknown) *)
   inj : 'a -> univ;
   proj : univ -> 'a option;
 }
@@ -113,6 +123,54 @@ module Tel : sig
   val phase_label : phase -> string
 end
 
+(** Blame attribution seam; see [Stm.Blame] for the user-facing
+    contract.  Cores guard every emission site (and every ownership
+    stamp) with one [Atomic.get] on {!Blame.armed}, so the disarmed
+    fast path is byte-identical to the pre-blame one. *)
+module Blame : sig
+  type cause = Read_conflict | Lock_busy | Validation | Stolen | Wait_budget
+
+  type event = {
+    b_victim : int;  (** slot whose attempt is impeded (-1 unknown) *)
+    b_aggressor : int;  (** slot held responsible (-1 unknown) *)
+    b_tvar : int;  (** t-variable id the conflict was on (-1 none) *)
+    b_cause : cause;
+  }
+
+  type sink = { on_event : event -> unit; on_progress : int -> unit }
+
+  val null_sink : sink
+  val armed : bool Atomic.t
+  val install : sink -> unit
+  val uninstall : unit -> unit
+  val is_armed : unit -> bool
+  val cause_label : cause -> string
+
+  val causes : cause list
+  (** Every cause, in label order — the stable axis of exported
+      histograms. *)
+
+  val set_self : int -> unit
+  (** Bind the calling domain's plan slot (its blame identity).  Set by
+      the chaos runner's workers; unset domains report -1. *)
+
+  val self : unit -> int
+
+  val emit : aggressor:int -> tvar:int -> cause -> unit
+  (** Deliver one event to the sink, victim = the calling domain's
+      slot.  Call only from an armed-guarded site: [emit] itself does
+      not re-check {!armed}. *)
+
+  val emit_event : victim:int -> aggressor:int -> tvar:int -> cause -> unit
+  (** [emit] with an explicit victim — for the one site where the
+      emitter is the aggressor (the DSTM steal names the locator's
+      installer as victim).  Same armed-guarded contract. *)
+
+  val progress : unit -> unit
+  (** Commit watermark tick for the calling domain's slot; checks
+      {!armed} itself (one atomic load when disarmed). *)
+end
+
 (** {1 Versioned-lock helpers (TL2's vlock word)} *)
 
 val locked : int -> bool
@@ -136,6 +194,7 @@ type wentry = {
   w_unlock : unit -> unit;
   w_publish : univ -> int -> unit;
   w_set : univ -> unit;
+  w_owner : int Atomic.t;  (** the t-variable's [owner] word *)
 }
 
 val wentry_of : 'a tvar -> wentry

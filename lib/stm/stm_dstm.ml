@@ -42,7 +42,11 @@ module Tev = Tm_trace.Trace_event
 
 let algo_name = "dstm"
 
-type rentry = { dr_id : int; dr_check : unit -> bool }
+type rentry = {
+  dr_id : int;
+  dr_check : unit -> bool;
+  dr_owner : unit -> int;  (** blame: installer slot of the current locator *)
+}
 
 (* Own-write journal: read-own-write must keep answering with the
    written value even after a rival steals the locator out from under
@@ -68,7 +72,13 @@ let committed_univ tv =
 let steal loc tv =
   if Atomic.get Trace.tracing then
     Trace.emit Tev.Txn "steal" Tev.Instant [ ("tvar", Tev.Int tv.id) ];
-  ignore (Atomic.compare_and_set loc.l_status 0 2)
+  let stolen = Atomic.compare_and_set loc.l_status 0 2 in
+  (* The one aggressor-side blame site: only a successful steal aborts
+     someone, and only the stealer knows it happened (the victim's
+     commit CAS failure later is this same edge, so it stays silent). *)
+  if stolen && Atomic.get Blame.armed then
+    Blame.emit_event ~victim:loc.l_owner ~aggressor:(Blame.self ())
+      ~tvar:tv.id Blame.Stolen
 
 (* Resolve [tv] for this transaction: own tentative value, or the
    stable value of a terminal locator (stealing any foreign active
@@ -89,14 +99,17 @@ let rec resolve t tv =
 let validate t =
   let rec first_invalid = function
     | [] -> None
-    | r :: rest -> if r.dr_check () then first_invalid rest else Some r.dr_id
+    | r :: rest -> if r.dr_check () then first_invalid rest else Some r
   in
   match first_invalid t.d_reads with
   | None -> ()
   | Some bad ->
       if Atomic.get Trace.tracing then
         Trace.emit Tev.Validation "read-invalid" Tev.Instant
-          [ ("tvar", Tev.Int bad) ];
+          [ ("tvar", Tev.Int bad.dr_id) ];
+      if Atomic.get Blame.armed then
+        Blame.emit ~aggressor:(bad.dr_owner ()) ~tvar:bad.dr_id
+          Blame.Validation;
       raise Conflict
 
 let read (type a) t (tv : a tvar) : a =
@@ -113,7 +126,11 @@ let read (type a) t (tv : a tvar) : a =
          doomed transactions included). *)
       validate t;
       t.d_reads <-
-        { dr_id = tv.id; dr_check = (fun () -> committed_univ tv == u) }
+        {
+          dr_id = tv.id;
+          dr_check = (fun () -> committed_univ tv == u);
+          dr_owner = (fun () -> (Atomic.get tv.locator).l_owner);
+        }
         :: t.d_reads;
       (match tv.proj u with Some x -> x | None -> assert false)
 
@@ -131,7 +148,10 @@ let write (type a) t (tv : a tvar) (x : a) : unit =
       end
       else
         let old = if st = 1 then loc.l_new else loc.l_old in
-        let loc' = { l_status = t.d_status; l_old = old; l_new = u } in
+        let l_owner =
+          if Atomic.get Blame.armed then Blame.self () else -1
+        in
+        let loc' = { l_status = t.d_status; l_old = old; l_new = u; l_owner } in
         if not (Atomic.compare_and_set tv.locator loc loc') then acquire ()
     end
   in

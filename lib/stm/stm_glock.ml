@@ -43,6 +43,12 @@ let waiters = Atomic.make 0
 let last_holder = Atomic.make (-1)
 let yield_spins = 512
 
+(* Blame identity of the current/last serializer holder: [last_holder]
+   stores a raw [Domain.self] for the fairness yield and is useless
+   for attribution, so the plan slot is tracked separately (written
+   only while the Blame seam is armed). *)
+let blame_holder = Atomic.make (-1)
+
 type txn = { mutable held : bool; mutable writes : wentry list }
 
 let begin_ () = { held = false; writes = [] }
@@ -74,7 +80,12 @@ let ensure_locked t =
         (fun () ->
           let rec spin budget =
             if Atomic.compare_and_set big_lock 0 1 then ()
-            else if budget <= 0 then raise Conflict
+            else if budget <= 0 then begin
+              if Atomic.get Blame.armed then
+                Blame.emit ~aggressor:(Atomic.get blame_holder) ~tvar:(-1)
+                  Blame.Wait_budget;
+              raise Conflict
+            end
             else begin
               Domain.cpu_relax ();
               spin (budget - 1)
@@ -83,6 +94,7 @@ let ensure_locked t =
           spin spin_budget)
     end;
     Atomic.set last_holder me;
+    if Atomic.get Blame.armed then Atomic.set blame_holder (Blame.self ());
     t.held <- true;
     if tel then tp.Tel.observe Tel.Lock (tp.Tel.now () - t0)
   end
@@ -154,7 +166,8 @@ let abort_cleanup t =
 let recover () =
   Atomic.set big_lock 0;
   Atomic.set waiters 0;
-  Atomic.set last_holder (-1)
+  Atomic.set last_holder (-1);
+  Atomic.set blame_holder (-1)
 
 (* A single-location atomic read needs no seqlock here: content is only
    written under the serializer and each write is itself atomic. *)

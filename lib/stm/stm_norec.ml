@@ -34,6 +34,12 @@ let algo_name = "norec"
 (* Even = free (commit sequence number), odd = write-back in progress. *)
 let seqlock = Atomic.make 0
 
+(* Blame identity of the last committer (the slot that last won the
+   sequence-lock CAS), written only while the Blame seam is armed: a
+   peer whose value validation fails, or whose wait behind an odd lock
+   exhausts its budget, blames this slot. *)
+let seq_owner = Atomic.make (-1)
+
 type rentry = { nr_id : int; nr_check : unit -> bool }
 
 type txn = {
@@ -53,7 +59,12 @@ let await_even () =
   let rec go budget =
     let v = Atomic.get seqlock in
     if v land 1 = 0 then v
-    else if budget <= 0 then raise Conflict
+    else if budget <= 0 then begin
+      if Atomic.get Blame.armed then
+        Blame.emit ~aggressor:(Atomic.get seq_owner) ~tvar:(-1)
+          Blame.Wait_budget;
+      raise Conflict
+    end
     else begin
       Domain.cpu_relax ();
       go (budget - 1)
@@ -77,6 +88,9 @@ let revalidate t =
         if Atomic.get Trace.tracing then
           Trace.emit Tev.Validation "read-invalid" Tev.Instant
             [ ("tvar", Tev.Int bad) ];
+        if Atomic.get Blame.armed then
+          Blame.emit ~aggressor:(Atomic.get seq_owner) ~tvar:bad
+            Blame.Validation;
         raise Conflict);
     if Atomic.get seqlock = s then t.snap <- s else go ()
   in
@@ -125,6 +139,7 @@ let commit t =
         end
       in
       acquire ();
+      if Atomic.get Blame.armed then Atomic.set seq_owner (Blame.self ());
       let t1 =
         if tel then begin
           let t' = tp.Tel.now () in
@@ -180,7 +195,8 @@ let abort_cleanup t =
    or dead, bumping it to the next even value un-strands the core. *)
 let recover () =
   let g = Atomic.get seqlock in
-  if g land 1 = 1 then Atomic.set seqlock (g + 1)
+  if g land 1 = 1 then Atomic.set seqlock (g + 1);
+  Atomic.set seq_owner (-1)
 
 (* Content cells are only written under the sequence lock and each
    write is atomic; a single-location direct read is a committed (or

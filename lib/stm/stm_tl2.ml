@@ -14,7 +14,11 @@ module Tev = Tm_trace.Trace_event
 let algo_name = "tl2"
 let clock = Atomic.make 0
 
-type rentry = { r_id : int; check : rv:int -> owned:(int -> bool) -> bool }
+type rentry = {
+  r_id : int;
+  check : rv:int -> owned:(int -> bool) -> bool;
+  r_owner : unit -> int;  (** blame: current owner word of the t-variable *)
+}
 
 type txn = {
   rv : int;
@@ -30,6 +34,7 @@ let rentry_of tv seen_version =
         let v = read_vlock tv in
         let ok_lock = (not (locked v)) || owned tv.id in
         ok_lock && version_of v <= rv && version_of v = seen_version);
+    r_owner = (fun () -> Atomic.get tv.owner);
   }
 
 let begin_ () = { rv = Atomic.get clock; reads = []; writes = [] }
@@ -40,10 +45,16 @@ let read (type a) txn (tv : a tvar) : a =
   | None ->
       if Atomic.get Chaos.armed then Chaos.fire Chaos.Read;
       if Atomic.get Tel.armed then (Atomic.get Tel.probe).Tel.count Tel.Read;
+      let blame_conflict () =
+        if Atomic.get Blame.armed then
+          Blame.emit ~aggressor:(Atomic.get tv.owner) ~tvar:tv.id
+            Blame.Read_conflict;
+        raise Conflict
+      in
       let v1 = read_vlock tv in
-      if locked v1 || version_of v1 > txn.rv then raise Conflict;
+      if locked v1 || version_of v1 > txn.rv then blame_conflict ();
       let x = Atomic.get tv.content in
-      if read_vlock tv <> v1 then raise Conflict;
+      if read_vlock tv <> v1 then blame_conflict ();
       txn.reads <- rentry_of tv (version_of v1) :: txn.reads;
       x
 
@@ -98,6 +109,11 @@ let commit txn =
               if tr then
                 Trace.emit Tev.Lock "acquire" Tev.Instant
                   [ ("tvar", Tev.Int w.w_id); ("order", Tev.Int k) ];
+              (* Stamp ownership only when blame is armed: the word
+                 then names the last lock holder / committed writer of
+                 the t-variable, which is who its next victim blames. *)
+              if Atomic.get Blame.armed then
+                Atomic.set w.w_owner (Blame.self ());
               acquired := w :: !acquired;
               lock_all (k + 1) rest
             end
@@ -105,6 +121,9 @@ let commit txn =
               if tr then
                 Trace.emit Tev.Lock "busy" Tev.Instant
                   [ ("tvar", Tev.Int w.w_id) ];
+              if Atomic.get Blame.armed then
+                Blame.emit ~aggressor:(Atomic.get w.w_owner) ~tvar:w.w_id
+                  Blame.Lock_busy;
               release_all Fun.id;
               raise Conflict
             end
@@ -125,14 +144,16 @@ let commit txn =
       let rec first_invalid = function
         | [] -> None
         | r :: rest ->
-            if r.check ~rv:txn.rv ~owned then first_invalid rest
-            else Some r.r_id
+            if r.check ~rv:txn.rv ~owned then first_invalid rest else Some r
       in
       (match first_invalid txn.reads with
       | Some bad ->
           if tr then
             Trace.emit Tev.Validation "read-invalid" Tev.Instant
-              [ ("tvar", Tev.Int bad) ];
+              [ ("tvar", Tev.Int bad.r_id) ];
+          if Atomic.get Blame.armed then
+            Blame.emit ~aggressor:(bad.r_owner ()) ~tvar:bad.r_id
+              Blame.Validation;
           release_all List.rev;
           raise Conflict
       | None -> ());

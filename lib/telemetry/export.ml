@@ -142,32 +142,52 @@ let parse_labels s =
   done;
   List.rev !out
 
+let parse_line line =
+  let name_end =
+    match String.index_opt line '{' with
+    | Some i -> i
+    | None -> (
+        match String.index_opt line ' ' with
+        | Some i -> i
+        | None -> String.length line)
+  in
+  let se_name = String.sub line 0 name_end in
+  let rest = String.sub line name_end (String.length line - name_end) in
+  let se_labels, vstr =
+    if rest <> "" && rest.[0] = '{' then
+      match String.rindex_opt rest '}' with
+      | Some j ->
+          ( parse_labels (String.sub rest 1 (j - 1)),
+            String.trim
+              (String.sub rest (j + 1) (String.length rest - j - 1)) )
+      | None -> failwith "parse_openmetrics: unterminated labels"
+    else ([], String.trim rest)
+  in
+  { se_name; se_labels; se_value = float_of_string vstr }
+
 let parse_openmetrics text =
   String.split_on_char '\n' text
   |> List.filter_map (fun line ->
          let line = String.trim line in
-         if line = "" || line.[0] = '#' then None
-         else
-           let name_end =
-             match String.index_opt line '{' with
-             | Some i -> i
-             | None -> ( match String.index_opt line ' ' with
-                       | Some i -> i
-                       | None -> String.length line)
-           in
-           let se_name = String.sub line 0 name_end in
-           let rest = String.sub line name_end (String.length line - name_end) in
-           let se_labels, vstr =
-             if rest <> "" && rest.[0] = '{' then
-               match String.rindex_opt rest '}' with
-               | Some j ->
-                   ( parse_labels (String.sub rest 1 (j - 1)),
-                     String.trim
-                       (String.sub rest (j + 1) (String.length rest - j - 1)) )
-               | None -> failwith "parse_openmetrics: unterminated labels"
-             else ([], String.trim rest)
-           in
-           Some { se_name; se_labels; se_value = float_of_string vstr })
+         if line = "" || line.[0] = '#' then None else Some (parse_line line))
+
+(* The forgiving variant for foreign expositions: every line the strict
+   subset does not cover becomes a diagnostic instead of an exception,
+   so one exotic sample (exemplars, timestamps, summary types) cannot
+   sink a whole scrape. *)
+let parse_openmetrics_lax text =
+  let series = ref [] and findings = ref [] in
+  List.iteri
+    (fun k line ->
+      let t = String.trim line in
+      if t = "" || t.[0] = '#' then ()
+      else
+        match parse_line t with
+        | s -> series := s :: !series
+        | exception (Failure m | Invalid_argument m) ->
+            findings := Fmt.str "line %d: %S: %s" (k + 1) t m :: !findings)
+    (String.split_on_char '\n' text);
+  (List.rev !series, List.rev !findings)
 
 (* ---- JSON lines ---- *)
 

@@ -26,6 +26,13 @@ val parse_openmetrics : string -> series list
     parser.
     @raise Failure on lines the subset does not cover. *)
 
+val parse_openmetrics_lax : string -> series list * string list
+(** Like {!parse_openmetrics}, but never raises: every sample line the
+    subset does not cover (exemplars, timestamps, summary lines, plain
+    garbage) becomes a diagnostic string — ["line N: <line>: <reason>"]
+    — in the second component, in line order.  An exposition of only
+    comments (e.g. just [# EOF]) parses to [([], [])]. *)
+
 val to_jsonl : Registry.snapshot -> string
 (** One JSON object (no trailing newline):
     [{"ts":N,"samples":[{"name":...,"labels":{...},"value":N}

@@ -432,6 +432,99 @@ let test_stm_multicore_trace_clean () =
        (An.Trace_lint.lock_order_edges events))
 
 (* ------------------------------------------------------------------ *)
+(* The blame rule: blame-evidence instants must agree with the chaos
+   verdicts in the same trace, and a starving domain may not pin its
+   starvation on a fault-free progressing peer. *)
+
+let chaos_fault ~ts ~tid name = Tev.instant ~ts ~tid Tev.Fault name []
+
+let chaos_verdict ~ts ~tid cls =
+  Tev.instant ~ts ~tid Tev.Monitor "chaos-verdict"
+    [ ("class", Tev.Str cls); ("expected", Tev.Str cls) ]
+
+let blame_evidence ~ts ~tid ev =
+  Tev.instant ~ts ~tid Tev.Monitor "blame-evidence"
+    [ ("evidence", Tev.Str ev); ("shape", Tev.Str "star:0") ]
+
+let run_blame_rule events =
+  An.Engine.run_trace ~rules:[ "blame" ] ~subject:"fixture" events
+
+let blame_fixture =
+  [
+    chaos_fault ~ts:10 ~tid:0 "chaos-crash";
+    chaos_verdict ~ts:100 ~tid:0 "crashed";
+    chaos_verdict ~ts:100 ~tid:1 "starving";
+    chaos_verdict ~ts:100 ~tid:2 "progressing";
+    blame_evidence ~ts:100 ~tid:0 "crashed";
+    blame_evidence ~ts:100 ~tid:1 "starved-by:0";
+    blame_evidence ~ts:100 ~tid:2 "progressing";
+  ]
+
+let test_blame_rule_clean () =
+  check_clean "agreeing evidence" (run_blame_rule blame_fixture)
+
+let test_blame_rule_falsified_evidence () =
+  (* The CI falsification gate in miniature: rewrite the starving
+     domain's evidence to "progressing" and the rule must fire. *)
+  let falsify e =
+    if e.Tev.name = "blame-evidence" && e.Tev.tid = 1 then
+      blame_evidence ~ts:e.Tev.ts ~tid:1 "progressing"
+    else e
+  in
+  let fs = run_blame_rule (List.map falsify blame_fixture) in
+  Alcotest.(check int) "one error" 1 (List.length fs);
+  Alcotest.(check bool) "rule is blame" true (has_rule "blame" fs)
+
+let test_blame_rule_verdict_mismatch () =
+  (* The other direction: a crashed verdict whose evidence says
+     something else. *)
+  let fs =
+    run_blame_rule
+      [
+        chaos_fault ~ts:10 ~tid:0 "chaos-crash";
+        chaos_verdict ~ts:100 ~tid:0 "crashed";
+        blame_evidence ~ts:100 ~tid:0 "contended";
+      ]
+  in
+  Alcotest.(check int) "one error" 1 (List.length fs)
+
+let test_blame_rule_scapegoat () =
+  (* Domain 1 starves and pins domain 0 — but domain 0 is fault-free
+     and progressing, so the attribution slanders a healthy peer. *)
+  let fs =
+    run_blame_rule
+      [
+        chaos_verdict ~ts:100 ~tid:0 "progressing";
+        chaos_verdict ~ts:100 ~tid:1 "starving";
+        blame_evidence ~ts:100 ~tid:0 "progressing";
+        blame_evidence ~ts:100 ~tid:1 "starved-by:0";
+      ]
+  in
+  Alcotest.(check int) "one error" 1 (List.length fs);
+  (* The same pin is legitimate once domain 0 carries an injected
+     fault (a parasite is "progressing" to nobody). *)
+  check_clean "pinning a faulty domain is allowed"
+    (run_blame_rule
+       [
+         chaos_fault ~ts:10 ~tid:0 "chaos-parasitic";
+         chaos_verdict ~ts:100 ~tid:0 "parasitic";
+         chaos_verdict ~ts:100 ~tid:1 "starving";
+         blame_evidence ~ts:100 ~tid:0 "parasitic";
+         blame_evidence ~ts:100 ~tid:1 "starved-by:0";
+       ])
+
+let test_blame_rule_exempt_without_evidence () =
+  (* Traces with verdicts but no blame instants (blame not armed) are
+     exempt. *)
+  check_clean "no evidence, no findings"
+    (run_blame_rule
+       [
+         chaos_fault ~ts:10 ~tid:0 "chaos-crash";
+         chaos_verdict ~ts:100 ~tid:0 "crashed";
+         chaos_verdict ~ts:100 ~tid:1 "starving";
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Engine: selection, filtering, exit code. *)
 
 let test_rule_selection () =
@@ -561,6 +654,19 @@ let () =
           Alcotest.test_case "lock-order cycle" `Quick test_lock_order_cycle;
           Alcotest.test_case "pid lanes independent" `Quick
             test_lanes_are_independent;
+        ] );
+      ( "blame rule",
+        [
+          Alcotest.test_case "agreeing evidence is clean" `Quick
+            test_blame_rule_clean;
+          Alcotest.test_case "falsified evidence fires" `Quick
+            test_blame_rule_falsified_evidence;
+          Alcotest.test_case "verdict/evidence mismatch fires" `Quick
+            test_blame_rule_verdict_mismatch;
+          Alcotest.test_case "scapegoating a healthy peer fires" `Quick
+            test_blame_rule_scapegoat;
+          Alcotest.test_case "traces without evidence exempt" `Quick
+            test_blame_rule_exempt_without_evidence;
         ] );
       ( "engine",
         [

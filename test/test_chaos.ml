@@ -359,6 +359,95 @@ let test_run_trace_lints_clean () =
     (List.length (Tm_analysis.Engine.run_trace ~subject:"chaos" o.Runner.o_events))
 
 (* ------------------------------------------------------------------ *)
+(* Blame-armed runs: the graph arrives in the outcome, classifies to
+   the per-algorithm deterministic shape, and annotates the exported
+   trace with evidence instants the analyzer accepts. *)
+
+module Bg = Tm_telemetry.Blame_graph
+
+let run_blame ?(warmup = 0.02) ?(window = 0.05) algo scenario seed =
+  match Plan.make ~algo ~scenario ~seed ~domains:3 () with
+  | Error m -> Alcotest.fail m
+  | Ok p -> Runner.run ~blame:true ~tvars:2 ~warmup ~window p
+
+let classify_outcome o =
+  match o.Runner.o_blame with
+  | None -> Alcotest.fail "blame run returned no graph"
+  | Some g ->
+      let classes =
+        Array.of_list
+          (List.map (fun r -> r.Runner.rep_observed) o.Runner.o_reports)
+      in
+      Bg.classify g ~classes
+
+let test_blame_run_star_tl2 () =
+  let o = run_blame Stm.Algo.Tl2 "crash-holding-locks" 7 in
+  Alcotest.(check bool) "verdicts match" true o.Runner.o_ok;
+  let shape, evidence = classify_outcome o in
+  Alcotest.(check string) "stranded vlocks make a star on the corpse"
+    "star:0" (Bg.shape_label shape);
+  Alcotest.(check string) "domain 0 crashed" "crashed"
+    (Bg.evidence_label evidence.(0));
+  Array.iteri
+    (fun d e ->
+      if d > 0 then
+        Alcotest.(check string)
+          (Fmt.str "domain %d starves behind domain 0" d)
+          "starved-by:0" (Bg.evidence_label e))
+    evidence
+
+(* The separation, restated in blame vocabulary: the same crash that
+   draws a star under tl2 leaves dstm with nothing to attribute. *)
+let test_blame_run_none_dstm () =
+  let o = run_blame Stm.Algo.Dstm "crash-holding-locks" 7 in
+  let shape, evidence = classify_outcome o in
+  Alcotest.(check string) "obstruction-freedom leaves nothing to explain"
+    "none" (Bg.shape_label shape);
+  Array.iteri
+    (fun d e ->
+      if d > 0 then
+        Alcotest.(check string)
+          (Fmt.str "domain %d steals past the corpse" d)
+          "progressing" (Bg.evidence_label e))
+    evidence
+
+let test_blame_run_trace_evidence () =
+  let o = run_blame Stm.Algo.Tl2 "crash-holding-locks" 7 in
+  let instants =
+    List.filter (fun e -> e.Tev.name = "blame-evidence") o.Runner.o_events
+  in
+  Alcotest.(check int) "one evidence instant per domain" 3
+    (List.length instants);
+  List.iter
+    (fun e ->
+      Alcotest.(check (option string))
+        "evidence instants carry the shape" (Some "star:0")
+        (Tev.arg_str e "shape"))
+    instants;
+  Alcotest.(check int) "blame-annotated trace passes the analyzer" 0
+    (List.length
+       (Tm_analysis.Engine.run_trace ~subject:"chaos" o.Runner.o_events))
+
+let test_blame_run_deterministic () =
+  let render o =
+    let shape, evidence = classify_outcome o in
+    Bg.shape_label shape
+    ^ "/"
+    ^ String.concat ","
+        (Array.to_list (Array.map Bg.evidence_label evidence))
+  in
+  (* The serializer's victims back off on the big lock, so witnessing
+     [min_events] of blame per peer needs the standard window length. *)
+  let a = run_blame ~warmup:0.05 ~window:0.15 Stm.Algo.Global_lock
+      "parasitic-only" 5 in
+  let b = run_blame ~warmup:0.05 ~window:0.15 Stm.Algo.Global_lock
+      "parasitic-only" 5 in
+  Alcotest.(check string) "serializer takeover is a star on the parasite"
+    "star:0/parasitic,starved-by:0,starved-by:0" (render a);
+  Alcotest.(check string) "same seed, same classified form" (render a)
+    (render b)
+
+(* ------------------------------------------------------------------ *)
 (* qcheck: the determinism contract over the whole input space.  The
    property recomputes a plan from the same (scenario, seed, domains)
    triple and demands a byte-identical rendered schedule and Chrome
@@ -451,6 +540,17 @@ let () =
             test_run_trace_byte_identical;
           Alcotest.test_case "trace passes the analyzer" `Quick
             test_run_trace_lints_clean;
+        ] );
+      ( "blame",
+        [
+          Alcotest.test_case "tl2 crash draws a star on the corpse" `Quick
+            test_blame_run_star_tl2;
+          Alcotest.test_case "dstm crash leaves no shape" `Quick
+            test_blame_run_none_dstm;
+          Alcotest.test_case "evidence instants annotate the trace" `Quick
+            test_blame_run_trace_evidence;
+          Alcotest.test_case "classified form is run-to-run stable" `Quick
+            test_blame_run_deterministic;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -710,6 +710,121 @@ let test_norec_value_validation_aba () =
       Alcotest.(check int) "invariant holds at the end" 1
         (Stm.read a + Stm.read b))
 
+(* ------------------------------------------------------------------ *)
+(* Blame seam. *)
+
+(* Named regression: [Stm.recover] must disarm every installed seam
+   (Chaos, Tel, Blame) before releasing core-global lock state, and it
+   must be idempotent — recover twice, then a clean commit.  A chaos
+   handler that crashes every transaction is the sharpest probe: if
+   recover left it armed, the commit below would die. *)
+let test_recover_resets_seams () =
+  let v = Stm.tvar 0 in
+  let blame_hits = Atomic.make 0 in
+  let tel_hits = Atomic.make 0 in
+  Stm.Blame.install
+    {
+      Stm.Blame.on_event = (fun _ -> Atomic.incr blame_hits);
+      on_progress = (fun _ -> Atomic.incr blame_hits);
+    };
+  Stm.Tel.install
+    {
+      Stm.Tel.now = (fun () -> 0);
+      count = (fun _ -> Atomic.incr tel_hits);
+      observe = (fun _ _ -> Atomic.incr tel_hits);
+    };
+  Stm.Chaos.install (fun _ -> Stm.Chaos.Crash);
+  Stm.recover ();
+  Stm.recover ();
+  Stm.atomically (fun () -> Stm.write v (Stm.read v + 1));
+  Alcotest.(check int) "clean commit after double recover" 1 (Stm.read v);
+  Alcotest.(check bool) "blame disarmed" false (Stm.Blame.is_armed ());
+  Alcotest.(check int) "blame sink silent" 0 (Atomic.get blame_hits);
+  Alcotest.(check int) "tel probe silent" 0 (Atomic.get tel_hits)
+
+(* While disarmed, the seam must be inert: no sink calls, no identity
+   reads, [self] at its default. *)
+let test_blame_disarmed_inert () =
+  let v = Stm.tvar 0 in
+  Alcotest.(check bool) "starts disarmed" false (Stm.Blame.is_armed ());
+  Alcotest.(check int) "self defaults to unknown" (-1) (Stm.Blame.self ());
+  let hits = Atomic.make 0 in
+  let sink =
+    {
+      Stm.Blame.on_event = (fun _ -> Atomic.incr hits);
+      on_progress = (fun _ -> Atomic.incr hits);
+    }
+  in
+  Stm.Blame.install sink;
+  Stm.Blame.uninstall ();
+  for _ = 1 to 100 do
+    Stm.atomically (fun () -> Stm.write v (Stm.read v + 1))
+  done;
+  Alcotest.(check int) "no events while disarmed" 0 (Atomic.get hits)
+
+(* Armed, single domain, no contention: the only signal is the progress
+   watermark, tagged with the slot bound by [set_self]. *)
+let test_blame_progress_watermark () =
+  let v = Stm.tvar 0 in
+  let progresses = Atomic.make 0 and events = Atomic.make 0 in
+  let slot_seen = Atomic.make (-2) in
+  Stm.Blame.install
+    {
+      Stm.Blame.on_event = (fun _ -> Atomic.incr events);
+      on_progress =
+        (fun s ->
+          Atomic.set slot_seen s;
+          Atomic.incr progresses);
+    };
+  Stm.Blame.set_self 7;
+  for _ = 1 to 50 do
+    Stm.atomically (fun () -> Stm.write v (Stm.read v + 1))
+  done;
+  Stm.Blame.set_self (-1);
+  Stm.Blame.uninstall ();
+  Alcotest.(check int) "one progress per commit" 50 (Atomic.get progresses);
+  Alcotest.(check int) "no conflict events uncontended" 0 (Atomic.get events);
+  Alcotest.(check int) "progress carries the bound slot" 7
+    (Atomic.get slot_seen)
+
+(* Every cause a core emits under real contention must be in its
+   declared [Algo.blame_causes] — the attribution never lies about the
+   mechanism.  (The converse — every declared cause eventually seen —
+   is load-dependent and belongs to the bench.) *)
+let blame_causes_truthful algo () =
+  Stm.with_algo algo (fun () ->
+      let seen = Atomic.make [] in
+      let rec push c =
+        let old = Atomic.get seen in
+        if not (Atomic.compare_and_set seen old (c :: old)) then push c
+      in
+      Stm.Blame.install
+        {
+          Stm.Blame.on_event = (fun e -> push e.Stm.Blame.b_cause);
+          on_progress = (fun _ -> ());
+        };
+      let hot = Array.init 2 (fun _ -> Stm.tvar 0) in
+      spawn_all
+        (List.init 2 (fun d () ->
+             Stm.Blame.set_self d;
+             for _ = 1 to 20_000 do
+               Stm.atomically (fun () ->
+                   let a = Stm.read hot.(0) in
+                   let b = Stm.read hot.(1) in
+                   Stm.write hot.(0) (a + 1);
+                   Stm.write hot.(1) (b + 1))
+             done;
+             Stm.Blame.set_self (-1)));
+      Stm.Blame.uninstall ();
+      let allowed = Stm.Algo.blame_causes algo in
+      List.iter
+        (fun c ->
+          Alcotest.(check bool)
+            (Fmt.str "%s: emitted cause %s is declared" (Stm.Algo.name algo)
+               (Stm.Blame.cause_label c))
+            true (List.mem c allowed))
+        (Atomic.get seen))
+
 let () =
   Alcotest.run "tm_stm"
     [
@@ -769,6 +884,23 @@ let () =
             test_dstm_steal_livelock;
           Alcotest.test_case "norec value-validation ABA" `Slow
             test_norec_value_validation_aba;
+        ] );
+      ( "blame seam",
+        [
+          Alcotest.test_case "recover resets every seam" `Quick
+            test_recover_resets_seams;
+          Alcotest.test_case "disarmed seam inert" `Quick
+            test_blame_disarmed_inert;
+          Alcotest.test_case "progress watermark" `Quick
+            test_blame_progress_watermark;
+          Alcotest.test_case "tl2 causes truthful" `Slow
+            (blame_causes_truthful Stm.Algo.Tl2);
+          Alcotest.test_case "global-lock causes truthful" `Slow
+            (blame_causes_truthful Stm.Algo.Global_lock);
+          Alcotest.test_case "dstm causes truthful" `Slow
+            (blame_causes_truthful Stm.Algo.Dstm);
+          Alcotest.test_case "norec causes truthful" `Slow
+            (blame_causes_truthful Stm.Algo.Norec);
         ] );
       ( "multicore stress",
         [

@@ -162,6 +162,187 @@ let test_openmetrics_roundtrip () =
   Alcotest.(check bool) "cumulative buckets are monotone" true
     (monotone buckets)
 
+(* Edge cases of the exposition parser: an exposition of only framing,
+   the writer's label escaping round-tripped, and — for the lax
+   variant — exotic lines (timestamps, summaries, garbage) becoming
+   diagnostics instead of exceptions. *)
+
+let test_openmetrics_empty_exposition () =
+  Alcotest.(check int) "strict: only # EOF parses to no series" 0
+    (List.length (E.parse_openmetrics "# EOF\n"));
+  let series, findings = E.parse_openmetrics_lax "# EOF\n" in
+  Alcotest.(check int) "lax: no series" 0 (List.length series);
+  Alcotest.(check int) "lax: no findings" 0 (List.length findings)
+
+let test_openmetrics_escaped_labels () =
+  let reg = R.create () in
+  let c =
+    R.counter reg ~shards:1
+      ~labels:[ ("path", "a\\b\"c\nd") ]
+      ~help:"escapes" "tm_test_esc_total"
+  in
+  I.add c 3;
+  let text = E.to_openmetrics (R.scrape reg ~ts:0) in
+  let check_series series =
+    match
+      List.find_opt (fun s -> s.E.se_name = "tm_test_esc_total") series
+    with
+    | None -> Alcotest.fail "escaped series not found"
+    | Some s ->
+        Alcotest.(check (list (pair string string)))
+          "label value round-trips the escaping"
+          [ ("path", "a\\b\"c\nd") ]
+          s.E.se_labels;
+        Alcotest.(check (float 0.)) "value" 3. s.E.se_value
+  in
+  check_series (E.parse_openmetrics text);
+  let series, findings = E.parse_openmetrics_lax text in
+  check_series series;
+  Alcotest.(check int) "lax agrees with strict on clean input" 0
+    (List.length findings)
+
+let test_openmetrics_lax_unknown_types () =
+  (* A foreign exposition: a summary with quantile labels (parses — it
+     is within the line subset), a timestamped sample, an unterminated
+     label set, and plain garbage.  The lax parser must keep the good
+     lines and report the bad ones; the strict parser raises. *)
+  let text =
+    "# TYPE rpc_duration summary\n\
+     rpc_duration{quantile=\"0.5\"} 0.25\n\
+     http_requests_total 1027 1395066363000\n\
+     bar{x=\"y\" 1\n\
+     not a metric line at all\n\
+     good_gauge 42\n\
+     # EOF\n"
+  in
+  Alcotest.check_raises "strict parser raises on the timestamped line"
+    (Failure "float_of_string") (fun () ->
+      ignore (E.parse_openmetrics text));
+  let series, findings = E.parse_openmetrics_lax text in
+  Alcotest.(check int) "two parsable samples survive" 2 (List.length series);
+  Alcotest.(check (float 0.)) "summary quantile line parses" 0.25
+    (List.hd series).E.se_value;
+  Alcotest.(check (float 0.)) "plain gauge parses" 42.
+    (List.nth series 1).E.se_value;
+  Alcotest.(check int) "three diagnostics" 3 (List.length findings);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Fmt.str "diagnostic %S names its line" f)
+        true
+        (String.length f > 5 && String.sub f 0 5 = "line "))
+    findings
+
+(* ------------------------------------------------------------------ *)
+(* The blame graph. *)
+
+module Bg = Tm_telemetry.Blame_graph
+module Pc = Tm_liveness.Process_class
+module Stm = Tm_stm.Stm
+
+let ev ?(cause = Stm.Blame.Read_conflict) ?(tvar = 0) v a =
+  { Stm.Blame.b_victim = v; b_aggressor = a; b_tvar = tvar; b_cause = cause }
+
+let test_blame_graph_folding () =
+  let reg = R.create () in
+  let g = Bg.create reg ~domains:3 in
+  let sink = Bg.sink_of g in
+  sink.Stm.Blame.on_event (ev 1 0);
+  sink.Stm.Blame.on_event (ev 1 0 ~cause:Stm.Blame.Lock_busy);
+  sink.Stm.Blame.on_event (ev 2 0);
+  sink.Stm.Blame.on_event (ev (-1) 0);
+  sink.Stm.Blame.on_event (ev 1 99 (* out of range -> unknown *));
+  Alcotest.(check int) "edge 1->0 read-conflict" 1
+    (Bg.edge g ~victim:1 ~aggressor:0 Stm.Blame.Read_conflict);
+  Alcotest.(check int) "edge 1->0 total over causes" 2
+    (Bg.edge_total g ~victim:1 ~aggressor:0);
+  Alcotest.(check int) "unknown victim folded" 1
+    (Bg.edge_total g ~victim:(-1) ~aggressor:0);
+  Alcotest.(check int) "out-of-range aggressor clamped to unknown" 1
+    (Bg.edge_total g ~victim:1 ~aggressor:(-1));
+  Alcotest.(check int) "victim total" 3 (Bg.victim_total g 1);
+  Alcotest.(check int) "clock ticks per event" 5 (Bg.clock g);
+  Alcotest.(check (list (triple int int int)))
+    "edges in canonical order"
+    [ (-1, 0, 1); (1, -1, 1); (1, 0, 2); (2, 0, 1) ]
+    (Bg.edges g)
+
+let test_blame_graph_watermarks () =
+  let reg = R.create () in
+  let g = Bg.create reg ~domains:2 in
+  let sink = Bg.sink_of g in
+  sink.Stm.Blame.on_event (ev 1 0);
+  sink.Stm.Blame.on_event (ev 1 0);
+  sink.Stm.Blame.on_progress 0;
+  Alcotest.(check int) "commit counted" 1 (Bg.commits g 0);
+  Alcotest.(check int) "last commit at clock 3" 3 (Bg.last_commit g 0);
+  Alcotest.(check int) "committer age 0" 0 (Bg.wait_age g 0);
+  sink.Stm.Blame.on_event (ev 1 0);
+  sink.Stm.Blame.on_event (ev 1 0);
+  Alcotest.(check int) "age grows with peer events" 2 (Bg.wait_age g 0);
+  Alcotest.(check int) "never-committed slot ages from 0" 5 (Bg.wait_age g 1);
+  Bg.refresh g;
+  let snap = R.scrape reg ~ts:0 in
+  Alcotest.(check (option int)) "clock gauge" (Some 5)
+    (R.sample_num snap ~name:"tm_blame_clock" ~labels:[]);
+  Alcotest.(check (option int)) "wait-age gauge" (Some 2)
+    (R.sample_num snap ~name:"tm_blame_wait_age"
+       ~labels:[ ("domain", "0") ]);
+  Alcotest.(check (option int)) "commit counter exported" (Some 1)
+    (R.sample_num snap ~name:"tm_blame_commits_total"
+       ~labels:[ ("domain", "0") ])
+
+let feed g n v a =
+  let sink = Bg.sink_of g in
+  for _ = 1 to n do
+    sink.Stm.Blame.on_event (ev v a)
+  done
+
+let test_blame_classify_star () =
+  let reg = R.create () in
+  let g = Bg.create reg ~domains:3 in
+  feed g 100 1 0;
+  feed g 100 2 0;
+  let shape, evidence =
+    Bg.classify g ~classes:[| Pc.Crashed; Pc.Starving; Pc.Starving |]
+  in
+  Alcotest.(check string) "star centred on the corpse" "star:0"
+    (Bg.shape_label shape);
+  Alcotest.(check (list string))
+    "evidence verdict-first, dominators attributed"
+    [ "crashed"; "starved-by:0"; "starved-by:0" ]
+    (Array.to_list (Array.map Bg.evidence_label evidence))
+
+let test_blame_classify_cycle () =
+  let reg = R.create () in
+  let g = Bg.create reg ~domains:3 in
+  feed g 100 0 1;
+  feed g 100 1 0;
+  let shape, evidence =
+    Bg.classify g ~classes:[| Pc.Starving; Pc.Starving; Pc.Progressing |]
+  in
+  Alcotest.(check string) "mutual dominance is a cycle" "cycle"
+    (Bg.shape_label shape);
+  Alcotest.(check (list string))
+    "starving rivals blame each other; the bystander stays progressing"
+    [ "starved-by:1"; "starved-by:0"; "progressing" ]
+    (Array.to_list (Array.map Bg.evidence_label evidence))
+
+let test_blame_classify_quiet () =
+  let reg = R.create () in
+  let g = Bg.create reg ~domains:2 in
+  feed g 5 1 0 (* below min_events: unwitnessed starvation *);
+  let shape, evidence =
+    Bg.classify g ~classes:[| Pc.Progressing; Pc.Starving |]
+  in
+  Alcotest.(check string) "no attributable victim, no shape" "none"
+    (Bg.shape_label shape);
+  Alcotest.(check string) "starving but unwitnessed is quiet" "quiet"
+    (Bg.evidence_label evidence.(1));
+  Alcotest.check_raises "classes arity enforced"
+    (Invalid_argument "Blame_graph.classify: one class per domain")
+    (fun () -> ignore (Bg.classify g ~classes:[| Pc.Progressing |]))
+
 (* ------------------------------------------------------------------ *)
 (* The liveness gauge. *)
 
@@ -274,6 +455,25 @@ let () =
         [
           Alcotest.test_case "openmetrics round-trip" `Quick
             test_openmetrics_roundtrip;
+          Alcotest.test_case "EOF-only exposition" `Quick
+            test_openmetrics_empty_exposition;
+          Alcotest.test_case "escaped label values round-trip" `Quick
+            test_openmetrics_escaped_labels;
+          Alcotest.test_case "lax parser turns exotic lines into findings"
+            `Quick test_openmetrics_lax_unknown_types;
+        ] );
+      ( "blame graph",
+        [
+          Alcotest.test_case "events fold into edges and the clock" `Quick
+            test_blame_graph_folding;
+          Alcotest.test_case "progress watermarks and gauges" `Quick
+            test_blame_graph_watermarks;
+          Alcotest.test_case "shared dominator classifies as a star" `Quick
+            test_blame_classify_star;
+          Alcotest.test_case "mutual blame classifies as a cycle" `Quick
+            test_blame_classify_cycle;
+          Alcotest.test_case "unwitnessed starvation is quiet" `Quick
+            test_blame_classify_quiet;
         ] );
       ( "liveness",
         [
