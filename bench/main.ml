@@ -1740,6 +1740,70 @@ let p10_blame_overhead () =
   close_out oc;
   Fmt.pr "    blame numbers written to %s@." out
 
+(* P11: the static analyzer as a gate — tmstatic must find a clean
+   checkout clean (zero findings over the whole tree), run in
+   interactive time (parsing and checking every scanned file well
+   within a CI-friendly bound), and be deterministic (two runs produce
+   byte-identical findings JSON).  See EXPERIMENTS.md §P11. *)
+
+let p11_static_analysis () =
+  let module Sc = Tm_staticcheck.Checker in
+  let module F = Tm_analysis.Finding in
+  section "P11" "tmstatic: whole-tree static checks, runtime, determinism";
+  match Sc.find_root () with
+  | None ->
+      check "repo root found from the bench cwd" ~paper:true ~measured:false
+  | Some root ->
+      let run_once () =
+        let t0 = Unix.gettimeofday () in
+        let r = Sc.run ~root () in
+        (Unix.gettimeofday () -. t0, r)
+      in
+      ignore (run_once ()) (* warm-up *);
+      let t1, r1 = run_once () in
+      let t2, r2 = run_once () in
+      let t_best = min t1 t2 in
+      (match (r1, r2) with
+      | Ok a, Ok b ->
+          let ja = F.list_to_json a.Sc.findings
+          and jb = F.list_to_json b.Sc.findings in
+          let errors = List.length (List.filter F.is_error a.Sc.findings) in
+          Fmt.pr
+            "  %d files scanned in %.3fs (best of 2), %d finding(s), %d \
+             error(s)@."
+            a.Sc.files_scanned t_best
+            (List.length a.Sc.findings)
+            errors;
+          List.iter (fun f -> Fmt.pr "    %a@." F.pp f) a.Sc.findings;
+          check "clean tree has zero error findings" ~paper:true
+            ~measured:(errors = 0);
+          check "whole-tree check runs in interactive time (< 5 s)"
+            ~paper:true ~measured:(t_best < 5.0);
+          check "two runs produce byte-identical findings JSON" ~paper:true
+            ~measured:(ja = jb);
+          check "the scan covers a real tree (>= 10 files)" ~paper:true
+            ~measured:(a.Sc.files_scanned >= 10);
+          let out =
+            Option.value ~default:"BENCH_static.json"
+              (Sys.getenv_opt "TM_BENCH_STATIC_OUT")
+          in
+          let oc = open_out out in
+          output_string oc
+            (Fmt.str
+               "{\"experiment\":\"P11\",\"claim\":\"tmstatic gates the seam \
+                discipline: clean tree, interactive runtime, deterministic \
+                output\",\"files_scanned\":%d,\"runtime_s\":%.3f,\
+                \"findings\":%d,\"errors\":%d,\"deterministic\":%b}\n"
+               a.Sc.files_scanned t_best
+               (List.length a.Sc.findings)
+               errors (ja = jb));
+          close_out oc;
+          Fmt.pr "    static numbers written to %s@." out
+      | Error msg, _ | _, Error msg ->
+          Fmt.pr "  static run failed: %s@." msg;
+          check "static analyzer runs over the checkout" ~paper:true
+            ~measured:false)
+
 (* ------------------------------------------------------------------ *)
 
 (* Every section of the harness, in run order, keyed for the
@@ -1776,6 +1840,7 @@ let bench_sections : (string * (unit -> unit)) list =
     ("p8", p8_telemetry_overhead);
     ("p9", p9_zoo_separation);
     ("p10", p10_blame_overhead);
+    ("p11", p11_static_analysis);
     ("bechamel", bechamel_benches);
   ]
 

@@ -93,6 +93,21 @@ let table_json_conv : [ `Table | `Json ] Arg.conv =
 let format_arg ?(names = [ "format" ]) ~doc () =
   Arg.(value & opt table_json_conv `Table & info names ~docv:"FORMAT" ~doc)
 
+(* One --fail-on threshold for every findings-emitting subcommand
+   (analyze, static): which severities turn into exit 1. *)
+let fail_on_conv : Tm_analysis.Engine.fail_level Arg.conv =
+  Arg.enum [ ("error", `Error); ("warning", `Warning); ("never", `Never) ]
+
+let fail_on_arg () =
+  Arg.(
+    value
+    & opt fail_on_conv `Error
+    & info [ "fail-on" ] ~docv:"LEVEL"
+        ~doc:
+          "Exit 1 when findings at or above this severity are reported: \
+           $(b,error) (the default), $(b,warning), or $(b,never) (always \
+           exit 0).")
+
 let telemetry_format_conv : [ `Openmetrics | `Jsonl ] Arg.conv =
   Arg.enum [ ("openmetrics", `Openmetrics); ("jsonl", `Jsonl) ]
 

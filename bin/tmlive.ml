@@ -701,7 +701,7 @@ module An = Tm_analysis
 
 let analyze_cmd =
   let run histories traces figures sweep stm_demo rules_str format out
-      list_rules tms faults seeds nprocs ntvars steps sched jobs =
+      fail_on list_rules tms faults seeds nprocs ntvars steps sched jobs =
     if list_rules then Fmt.pr "%a" An.Engine.pp_catalogue ()
     else begin
       let rules =
@@ -804,7 +804,7 @@ let analyze_cmd =
           output_string oc (An.Finding.list_to_json findings);
           close_out oc;
           Fmt.epr "findings written to %s@." file);
-      exit (An.Engine.exit_code findings)
+      exit (An.Engine.exit_code_at fail_on findings)
     end
   in
   let histories =
@@ -893,11 +893,104 @@ let analyze_cmd =
          "Lint histories and traces: well-formedness and transaction-\
           identity checks, liveness-class diagnostics, and trace-level \
           race / lock-order / commit-protocol analyzers.  Exits 1 if any \
-          error-severity finding is reported, so CI can gate on it.")
+          finding at or above $(b,--fail-on) is reported, so CI can gate \
+          on it.")
     Term.(
       const run $ histories $ traces $ figures $ sweep $ stm_demo $ rules
-      $ format $ out $ list_rules $ tms $ faults $ seeds $ nprocs $ ntvars
-      $ steps $ sched $ jobs)
+      $ format $ out $ fail_on_arg () $ list_rules $ tms $ faults $ seeds
+      $ nprocs $ ntvars $ steps $ sched $ jobs)
+
+(* ------------------------------------------------------------------ *)
+
+let static_cmd =
+  let module Sc = Tm_staticcheck.Checker in
+  let run root rules_str format out fail_on list_rules =
+    if list_rules then Fmt.pr "%a" Sc.pp_catalogue ()
+    else begin
+      let rules =
+        match Sc.parse_selection rules_str with
+        | Ok ids -> ids
+        | Error m ->
+            Fmt.epr "error: %s@." m;
+            exit 2
+      in
+      let root =
+        match root with
+        | Some dir -> dir
+        | None -> (
+            match Sc.find_root () with
+            | Some dir -> dir
+            | None ->
+                Fmt.epr
+                  "error: no repo root found above the working directory \
+                   (looked for dune-project + lib/stm); use --root@.";
+                exit 2)
+      in
+      match Sc.run ~rules ~root () with
+      | Error m ->
+          Fmt.epr "error: %s@." m;
+          exit 2
+      | Ok report ->
+          let findings = report.Sc.findings in
+          (match format with
+          | `Table ->
+              Fmt.pr "%d file(s) scanned under %s@." report.Sc.files_scanned
+                root;
+              Fmt.pr "%a" An.Finding.pp_report findings
+          | `Json -> print_string (An.Finding.list_to_json findings));
+          (match out with
+          | None -> ()
+          | Some file ->
+              let oc = open_out file in
+              output_string oc (An.Finding.list_to_json findings);
+              close_out oc;
+              Fmt.epr "findings written to %s@." file);
+          exit (An.Engine.exit_code_at fail_on findings)
+    end
+  in
+  let root =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:
+            "Repo checkout to analyze (default: walk upward from the \
+             working directory to the first dune-project with lib/stm).")
+  in
+  let rules =
+    Arg.(
+      value & opt string "all"
+      & info [ "rules" ] ~docv:"RULES"
+          ~doc:
+            "Rule subset: $(b,all) or a comma-separated list of rule ids \
+             (see $(b,--list-rules)).")
+  in
+  let format =
+    format_arg ~doc:"Findings on stdout as $(b,table) or $(b,json)." ()
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write the findings JSON document here (CI artifact).")
+  in
+  let list_rules =
+    Arg.(
+      value & flag
+      & info [ "list-rules" ] ~doc:"Print the rule catalogue and exit.")
+  in
+  Cmd.v
+    (Cmd.info "static"
+       ~doc:
+         "Statically analyze the repo's own OCaml sources: cross-check \
+          each core's seam emission sites against the Stm.Algo contract \
+          tables, require every emission to sit behind its disarmed-check \
+          guard, flag non-rollbackable effects inside atomically bodies \
+          and seams armed without a paired teardown.  Exits 1 if any \
+          finding at or above $(b,--fail-on) is reported, so CI can gate \
+          on it.")
+    Term.(const run $ root $ rules $ format $ out $ fail_on_arg () $ list_rules)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1340,6 +1433,6 @@ let () =
           [
             zoo_cmd; figures_cmd; simulate_cmd; game_cmd; matrix_cmd;
             monitor_cmd; sweep_cmd; trace_cmd; chaos_cmd; blame_cmd; top_cmd;
-            analyze_cmd; model_check_cmd; explore_cmd; crash_windows_cmd;
-            dump_cmd; check_cmd;
+            analyze_cmd; static_cmd; model_check_cmd; explore_cmd;
+            crash_windows_cmd; dump_cmd; check_cmd;
           ]))

@@ -178,4 +178,29 @@ let run_lasso ?rules ?claimed_classes ?claimed_verdict ~subject l =
 let run_trace ?rules ~subject events =
   filter_rules rules (Trace_lint.lint_trace ~subject events)
 
-let exit_code findings = if List.exists Finding.is_error findings then 1 else 0
+type fail_level = [ `Error | `Warning | `Never ]
+
+let fail_level_of_string = function
+  | "error" -> Some `Error
+  | "warning" -> Some `Warning
+  | "never" -> Some `Never
+  | _ -> None
+
+let fail_level_label = function
+  | `Error -> "error"
+  | `Warning -> "warning"
+  | `Never -> "never"
+
+let exit_code_at level findings =
+  match level with
+  | `Never -> 0
+  | `Error -> if List.exists Finding.is_error findings then 1 else 0
+  | `Warning ->
+      if
+        List.exists
+          (fun (f : Finding.t) -> f.Finding.severity <> Finding.Info)
+          findings
+      then 1
+      else 0
+
+let exit_code findings = exit_code_at `Error findings

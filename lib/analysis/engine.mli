@@ -54,6 +54,19 @@ val run_trace :
   Tm_trace.Trace_event.t list ->
   Finding.t list
 
+type fail_level = [ `Error | `Warning | `Never ]
+(** The [--fail-on] threshold: which severities make a report a gating
+    failure. [`Error] is the historical exit-1-on-errors behaviour;
+    [`Warning] also fails on warnings; [`Never] always exits 0. *)
+
+val fail_level_of_string : string -> fail_level option
+(** ["error"], ["warning"], ["never"]. *)
+
+val fail_level_label : fail_level -> string
+
+val exit_code_at : fail_level -> Finding.t list -> int
+(** CI gating at a chosen threshold: [1] if any finding at or above
+    [level] is present, [0] otherwise ([`Never] is always [0]). *)
+
 val exit_code : Finding.t list -> int
-(** CI gating: [1] if any error-severity finding is present, [0]
-    otherwise. *)
+(** [exit_code fs = exit_code_at `Error fs]. *)

@@ -4,6 +4,7 @@ type location =
   | At_event of int
   | At_ts of int * int
   | At_proc of int
+  | At_line of int
   | Whole
 
 type t = {
@@ -47,6 +48,7 @@ let location_rank = function
   | At_proc p -> (1, p, 0)
   | At_event i -> (2, i, 0)
   | At_ts (ts, tid) -> (3, ts, tid)
+  | At_line l -> (4, l, 0)
 
 let compare a b =
   let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
@@ -92,6 +94,8 @@ let location_to_json b = function
   | At_ts (ts, tid) ->
       Buffer.add_string b
         (Printf.sprintf "{\"kind\":\"trace\",\"ts\":%d,\"tid\":%d}" ts tid)
+  | At_line l ->
+      Buffer.add_string b (Printf.sprintf "{\"kind\":\"line\",\"line\":%d}" l)
 
 let to_json b f =
   Buffer.add_string b "{\"rule\":";
@@ -129,6 +133,7 @@ let pp_location ppf = function
   | At_proc p -> Fmt.pf ppf "p%d" p
   | At_event i -> Fmt.pf ppf "event %d" i
   | At_ts (ts, tid) -> Fmt.pf ppf "ts %d (tid %d)" ts tid
+  | At_line l -> Fmt.pf ppf "line %d" l
 
 let pp ppf f =
   Fmt.pf ppf "%-7s %-24s %-14s %s: %s"

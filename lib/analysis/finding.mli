@@ -11,6 +11,7 @@ type location =
   | At_event of int  (** history event index (0-based) *)
   | At_ts of int * int  (** trace location: (logical timestamp, tid lane) *)
   | At_proc of int  (** a process of the history/lasso *)
+  | At_line of int  (** a source line (1-based), for static findings *)
   | Whole  (** the artifact as a whole *)
 
 type t = {

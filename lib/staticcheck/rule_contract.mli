@@ -1,0 +1,16 @@
+(** seam-contract: both-direction cross-check of each core's seam
+    emission sites against the [Stm.Algo] announcement tables. *)
+
+val rule : string
+
+val check :
+  vocab:Seam.vocab ->
+  contract:Seam.contract ->
+  facade_src:Source.t ->
+  (string * Source.t) list ->
+  Tm_analysis.Finding.t list
+(** [check ~vocab ~contract ~facade_src cores] with [cores] a list of
+    (Algo constructor, parsed core source).  Error findings for:
+    unannounced emissions (located at the emitting core line), announced
+    constructors with no emission site and duplicate announcements
+    (located at the table case in the facade). *)

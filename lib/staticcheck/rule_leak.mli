@@ -1,0 +1,9 @@
+(** armed-leak: a top-level definition that arms a seam
+    ([Chaos]/[Tel]/[Blame]/[Blame_graph].install, [Trace.start]) must
+    also mention the matching disarm ([uninstall], [Trace.stop] or
+    [Stm.recover] — application or bare ident both count).
+    Suppressible with [tmstatic: allow armed-leak]. *)
+
+val rule : string
+
+val check : Source.t -> Tm_analysis.Finding.t list

@@ -1,0 +1,10 @@
+(** txn-purity: non-rollbackable effects inside [atomically] bodies.
+    Errors for effects that cannot be undone (I/O, printing, [Random],
+    [Domain.spawn], [Mutex]/[Condition]/[Semaphore], [Unix]); warnings
+    for mutation of state created outside the body.  Suppressible with
+    a [tmstatic: allow txn-purity] comment on the offending line or the
+    line above. *)
+
+val rule : string
+
+val check : Source.t -> Tm_analysis.Finding.t list

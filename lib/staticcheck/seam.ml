@@ -1,0 +1,279 @@
+(* The machine-read seam contract.
+
+   Rather than hard-coding the Chaos/Tel/Blame vocabularies and the
+   per-algorithm announcement tables, the checker parses them out of
+   the same sources the compiler builds: the constructor lists of
+   [Chaos.point] / [Tel.phase] / [Blame.cause] in [stm_core.ml], and
+   the literal lists returned by [Algo.tel_phases] / [Algo.chaos_points]
+   / [Algo.blame_causes] plus the [core_of] dispatch in [stm.ml].  A
+   constructor added to a seam or a core added to the zoo is picked up
+   with no checker change — and a checker that fails to find the tables
+   reports that as an error instead of silently passing. *)
+
+open Parsetree
+
+type kind = Tel | Chaos | Blame
+
+let kind_module = function Tel -> "Tel" | Chaos -> "Chaos" | Blame -> "Blame"
+
+let kind_table = function
+  | Tel -> "tel_phases"
+  | Chaos -> "chaos_points"
+  | Blame -> "blame_causes"
+
+type vocab = { phases : string list; points : string list; causes : string list }
+
+let vocab_of kind v =
+  match kind with Tel -> v.phases | Chaos -> v.points | Blame -> v.causes
+
+(* [Tel] phases the facade's retry loop emits for every core; a core's
+   own required set is its announced set minus these. *)
+let facade_kind = Tel
+
+type announcement = {
+  an_algo : string;  (** [Algo.t] constructor, e.g. ["Global_lock"] *)
+  an_kind : kind;
+  an_ctors : string list;  (** in announcement order *)
+  an_line : int;  (** line of the matching table case in [stm.ml] *)
+}
+
+type contract = {
+  c_algos : string list;
+  c_core_files : (string * string) list;
+      (** algo constructor -> core module name, e.g. ["Stm_tl2"] *)
+  c_announced : announcement list;
+}
+
+let announced c ~algo ~kind =
+  List.find_opt (fun a -> a.an_algo = algo && a.an_kind = kind) c.c_announced
+
+(* --- vocabulary: the seam variant declarations in stm_core.ml --- *)
+
+let ctor_names_of_type_decl (td : type_declaration) =
+  match td.ptype_kind with
+  | Ptype_variant ctors ->
+      Some (List.map (fun c -> c.pcd_name.Location.txt) ctors)
+  | _ -> None
+
+let variant_in_module ~module_name ~type_name structure =
+  let found = ref None in
+  List.iter
+    (fun (si : structure_item) ->
+      match si.pstr_desc with
+      | Pstr_module mb
+        when mb.pmb_name.Location.txt = Some module_name ->
+          let rec in_mod (me : module_expr) =
+            match me.pmod_desc with
+            | Pmod_structure items ->
+                List.iter
+                  (fun (si : structure_item) ->
+                    match si.pstr_desc with
+                    | Pstr_type (_, tds) ->
+                        List.iter
+                          (fun td ->
+                            if td.ptype_name.Location.txt = type_name then
+                              match ctor_names_of_type_decl td with
+                              | Some cs -> found := Some cs
+                              | None -> ())
+                          tds
+                    | _ -> ())
+                  items
+            | Pmod_constraint (me, _) | Pmod_functor (_, me) -> in_mod me
+            | _ -> ()
+          in
+          in_mod mb.pmb_expr
+      | _ -> ())
+    structure;
+  !found
+
+let vocab_of_core (src : Source.t) =
+  let get m ty =
+    match variant_in_module ~module_name:m ~type_name:ty src.structure with
+    | Some cs -> Ok cs
+    | None -> Error (Fmt.str "%s: cannot find type %s.%s" src.path m ty)
+  in
+  match (get "Tel" "phase", get "Chaos" "point", get "Blame" "cause") with
+  | Ok phases, Ok points, Ok causes -> Ok { phases; points; causes }
+  | (Error _ as e), _, _ | _, (Error _ as e), _ | _, _, (Error _ as e) -> e
+
+(* --- the Algo announcement tables and core_of dispatch in stm.ml --- *)
+
+(* A contract table is written as [let tel_phases = function ...] with
+   every case mapping (possibly or-patterns of) Algo constructors to a
+   literal list of seam constructors. *)
+
+let rec pattern_algos (p : pattern) =
+  match p.ppat_desc with
+  | Ppat_construct (lid, None) -> [ Source.lid_last lid.Location.txt ]
+  | Ppat_or (a, b) -> pattern_algos a @ pattern_algos b
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) -> pattern_algos p
+  | _ -> []
+
+let rec list_literal_ctors (e : expression) =
+  match e.pexp_desc with
+  | Pexp_construct ({ Location.txt = Longident.Lident "[]"; _ }, None) ->
+      Some []
+  | Pexp_construct
+      ({ Location.txt = Longident.Lident "::"; _ }, Some { pexp_desc = Pexp_tuple [ hd; tl ]; _ }) -> (
+      match (hd.pexp_desc, list_literal_ctors tl) with
+      | Pexp_construct (lid, None), Some rest ->
+          Some (Source.lid_last lid.Location.txt :: rest)
+      | _ -> None)
+  | _ -> None
+
+let table_cases (e : expression) =
+  match e.pexp_desc with
+  | Pexp_function cases -> Some cases
+  | Pexp_fun (_, _, _, { pexp_desc = Pexp_match (_, cases); _ }) -> Some cases
+  | _ -> None
+
+let announcements_of_binding kind (vb : value_binding) =
+  match table_cases vb.pvb_expr with
+  | None -> []
+  | Some cases ->
+      List.concat_map
+        (fun (c : case) ->
+          match list_literal_ctors c.pc_rhs with
+          | None -> []
+          | Some ctors ->
+              List.map
+                (fun algo ->
+                  {
+                    an_algo = algo;
+                    an_kind = kind;
+                    an_ctors = ctors;
+                    an_line = Source.line_of c.pc_rhs.pexp_loc;
+                  })
+                (pattern_algos c.pc_lhs))
+        cases
+
+(* [core_of] maps each Algo constructor to a first-class core module:
+   [| Algo.Tl2 -> (module Stm_tl2)]. *)
+let rec core_module_of_expr (e : expression) =
+  match e.pexp_desc with
+  | Pexp_pack { pmod_desc = Pmod_ident lid; _ } ->
+      Some (Source.lid_last lid.Location.txt)
+  | Pexp_pack { pmod_desc = Pmod_constraint ({ pmod_desc = Pmod_ident lid; _ }, _); _ }
+    ->
+      Some (Source.lid_last lid.Location.txt)
+  | Pexp_constraint (e, _) -> core_module_of_expr e
+  | _ -> None
+
+let core_files_of_binding (vb : value_binding) =
+  let expr =
+    match vb.pvb_expr.pexp_desc with
+    | Pexp_constraint (e, _) -> e
+    | _ -> vb.pvb_expr
+  in
+  match table_cases expr with
+  | None -> []
+  | Some cases ->
+      List.concat_map
+        (fun (c : case) ->
+          match core_module_of_expr c.pc_rhs with
+          | None -> []
+          | Some m -> List.map (fun a -> (a, m)) (pattern_algos c.pc_lhs))
+        cases
+
+let binding_name (vb : value_binding) =
+  match vb.pvb_pat.ppat_desc with
+  | Ppat_var v -> Some v.Location.txt
+  | Ppat_constraint ({ ppat_desc = Ppat_var v; _ }, _) -> Some v.Location.txt
+  | _ -> None
+
+let contract_of_facade (src : Source.t) =
+  let announced = ref [] in
+  let core_files = ref [] in
+  let algos = ref [] in
+  let scan_bindings vbs =
+    List.iter
+      (fun vb ->
+        match binding_name vb with
+        | Some "tel_phases" ->
+            announced := !announced @ announcements_of_binding Tel vb
+        | Some "chaos_points" ->
+            announced := !announced @ announcements_of_binding Chaos vb
+        | Some "blame_causes" ->
+            announced := !announced @ announcements_of_binding Blame vb
+        | Some "core_of" -> core_files := !core_files @ core_files_of_binding vb
+        | _ -> ())
+      vbs
+  in
+  List.iter
+    (fun (si : structure_item) ->
+      match si.pstr_desc with
+      | Pstr_value (_, vbs) -> scan_bindings vbs
+      | Pstr_module mb when mb.pmb_name.Location.txt = Some "Algo" -> (
+          match mb.pmb_expr.pmod_desc with
+          | Pmod_structure items ->
+              List.iter
+                (fun (si : structure_item) ->
+                  match si.pstr_desc with
+                  | Pstr_value (_, vbs) -> scan_bindings vbs
+                  | Pstr_type (_, tds) ->
+                      List.iter
+                        (fun td ->
+                          if td.ptype_name.Location.txt = "t" then
+                            match ctor_names_of_type_decl td with
+                            | Some cs -> algos := cs
+                            | None -> ())
+                        tds
+                  | _ -> ())
+                items
+          | _ -> ())
+      | _ -> ())
+    src.structure;
+  if !algos = [] then Error (Fmt.str "%s: cannot find module Algo's type t" src.path)
+  else if !core_files = [] then
+    Error (Fmt.str "%s: cannot find the core_of dispatch table" src.path)
+  else if !announced = [] then
+    Error
+      (Fmt.str "%s: cannot find the Algo announcement tables (%s)" src.path
+         (String.concat ", " (List.map kind_table [ Tel; Chaos; Blame ])))
+  else
+    Ok { c_algos = !algos; c_core_files = !core_files; c_announced = !announced }
+
+(* --- emission sites --- *)
+
+type site = { s_kind : kind; s_ctor : string; s_line : int }
+
+(* Every qualified seam constructor in expression position is an
+   emission site: the cores only ever mention [Tel.X]/[Chaos.X]/
+   [Blame.X] payload constructors when handing them to the seam
+   ([Chaos.fire Chaos.Read], [tp.Tel.count Tel.Read],
+   [Blame.emit ... Blame.Validation], or through a local helper).
+   Pattern positions (the [match Chaos.decide p with] arms) are not
+   expressions and never match. *)
+let sites (vocab : vocab) ?skip_module (src : Source.t) =
+  let acc = ref [] in
+  let classify lid =
+    match (Source.lid_parent lid, Source.lid_last lid) with
+    | Some "Tel", c when List.mem c vocab.phases -> Some (Tel, c)
+    | Some "Chaos", c when List.mem c vocab.points -> Some (Chaos, c)
+    | Some "Blame", c when List.mem c vocab.causes -> Some (Blame, c)
+    | _ -> None
+  in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_construct (lid, _) -> (
+              match classify lid.Location.txt with
+              | Some (k, c) ->
+                  acc :=
+                    { s_kind = k; s_ctor = c; s_line = Source.line_of e.pexp_loc }
+                    :: !acc
+              | None -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+      module_binding =
+        (fun self mb ->
+          match skip_module with
+          | Some m when mb.pmb_name.Location.txt = Some m -> ()
+          | _ -> Ast_iterator.default_iterator.module_binding self mb);
+    }
+  in
+  iter.structure iter src.structure;
+  List.rev !acc

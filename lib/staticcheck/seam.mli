@@ -1,0 +1,52 @@
+(** The machine-read seam contract: the Chaos/Tel/Blame constructor
+    vocabularies parsed from [stm_core.ml], the per-algorithm
+    announcement tables and core dispatch parsed from [stm.ml], and the
+    emission-site scan the contract rule cross-checks them against. *)
+
+type kind = Tel | Chaos | Blame
+
+val kind_module : kind -> string
+(** ["Tel"], ["Chaos"], ["Blame"]. *)
+
+val kind_table : kind -> string
+(** The announcement table name: ["tel_phases"], ["chaos_points"],
+    ["blame_causes"]. *)
+
+type vocab = { phases : string list; points : string list; causes : string list }
+
+val vocab_of : kind -> vocab -> string list
+
+val facade_kind : kind
+(** The seam whose universal constructors (Begin/Commit/Abort) are
+    emitted by the [Stm] facade's retry loop rather than the cores. *)
+
+type announcement = {
+  an_algo : string;  (** [Algo.t] constructor, e.g. ["Global_lock"] *)
+  an_kind : kind;
+  an_ctors : string list;  (** in announcement order *)
+  an_line : int;  (** line of the matching table case in [stm.ml] *)
+}
+
+type contract = {
+  c_algos : string list;
+  c_core_files : (string * string) list;
+      (** algo constructor -> core module name, e.g. ["Stm_tl2"] *)
+  c_announced : announcement list;
+}
+
+val announced : contract -> algo:string -> kind:kind -> announcement option
+
+val vocab_of_core : Source.t -> (vocab, string) result
+(** Parse the [Tel.phase] / [Chaos.point] / [Blame.cause] variant
+    declarations out of [stm_core.ml]. *)
+
+val contract_of_facade : Source.t -> (contract, string) result
+(** Parse [Algo.t], the three announcement tables and [core_of] out of
+    [stm.ml].  Or-patterns announce for every named algorithm. *)
+
+type site = { s_kind : kind; s_ctor : string; s_line : int }
+
+val sites : vocab -> ?skip_module:string -> Source.t -> site list
+(** Every qualified seam constructor in expression position, in source
+    order.  [skip_module] skips one named top-level module (the [Algo]
+    announcement tables themselves when scanning [stm.ml]). *)

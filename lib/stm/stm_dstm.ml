@@ -35,7 +35,11 @@
    commit-time validation with ownerships held, [Post_commit] after
    the commit CAS.  A crash leaves the status cell active forever:
    the crashed-owner adversary that lock-based cores cannot survive
-   and this one shrugs off. *)
+   and this one shrugs off.
+
+   Seam sites here are under static contract: every Tel/Chaos/Blame
+   emission must match [Stm.Algo]'s announcement for Dstm and sit
+   behind its armed guard (tmlive static: seam-contract/seam-guard). *)
 
 open Stm_core
 module Tev = Tm_trace.Trace_event

@@ -20,7 +20,11 @@
    the serializer is held, so an in-transaction crash deterministically
    strands it; [Pre_commit] fires before write-back (serializer held);
    [Post_commit] after release.  [Validate] never fires: there is
-   nothing to validate. *)
+   nothing to validate.
+
+   Seam sites here are under static contract: every Tel/Chaos/Blame
+   emission must match [Stm.Algo]'s announcement for Global_lock and
+   sit behind its armed guard (tmlive static: seam-contract/guard). *)
 
 open Stm_core
 module Tev = Tm_trace.Trace_event

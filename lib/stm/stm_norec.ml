@@ -24,7 +24,11 @@
    the sequence lock is held — a [Crash] there strands it odd forever
    and every peer starves (bounded spins keep them observable), an
    [Abort] restores it — and [Post_commit] after release.
-   [Lock_acquire] never fires. *)
+   [Lock_acquire] never fires.
+
+   Seam sites here are under static contract: every Tel/Chaos/Blame
+   emission must match [Stm.Algo]'s announcement for Norec and sit
+   behind its armed guard (tmlive static: seam-contract/seam-guard). *)
 
 open Stm_core
 module Tev = Tm_trace.Trace_event

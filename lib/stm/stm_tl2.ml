@@ -6,7 +6,11 @@
    (read vlock, read content, read vlock again) and validate against
    the transaction's read version.  Progressive in the
    Kuznetsov–Ravi sense: a transaction aborts only on a real data
-   conflict (or a chaos fault). *)
+   conflict (or a chaos fault).
+
+   Seam sites here are under static contract: every Tel/Chaos/Blame
+   emission must match [Stm.Algo]'s announcement for Tl2 and sit
+   behind its armed guard (tmlive static: seam-contract/seam-guard). *)
 
 open Stm_core
 module Tev = Tm_trace.Trace_event

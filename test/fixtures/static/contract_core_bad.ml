@@ -1,0 +1,7 @@
+(* Fixture: a core that violates the Mini announcement both ways —
+   it emits Chaos.Validate (unannounced) and never emits Tel.Read,
+   Chaos.Read or Blame.Validation (all announced). *)
+
+let read tv =
+  if Atomic.get Chaos.armed then Chaos.fire Chaos.Validate;
+  Atomic.get tv

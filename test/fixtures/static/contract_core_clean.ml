@@ -1,0 +1,10 @@
+(* Fixture: a core whose emission sites match the facade announcement
+   for Mini exactly (Tel Begin/Commit/Abort come from the facade). *)
+
+let read tv =
+  if Atomic.get Chaos.armed then Chaos.fire Chaos.Read;
+  if Atomic.get Tel.armed then (Atomic.get Tel.probe).Tel.count Tel.Read;
+  Atomic.get tv
+
+let commit ~aggressor ~tvar =
+  if Atomic.get Blame.armed then Blame.emit ~aggressor ~tvar Blame.Validation

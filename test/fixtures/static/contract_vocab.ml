@@ -1,0 +1,20 @@
+(* Fixture: a miniature stm_core declaring the three seam
+   vocabularies seam-contract reads its constructor sets from. *)
+
+module Chaos = struct
+  type point = Read | Validate | Lock_acquire | Pre_commit | Post_commit
+
+  let armed = Atomic.make false
+end
+
+module Tel = struct
+  type phase = Begin | Read | Lock | Validate | Publish | Commit | Abort
+
+  let armed = Atomic.make false
+end
+
+module Blame = struct
+  type cause = Read_conflict | Lock_busy | Validation | Stolen | Wait_budget
+
+  let armed = Atomic.make false
+end

@@ -1,0 +1,15 @@
+(* Fixture: unguarded seam emissions, one per emission family, plus
+   one suppressed by the allow escape. *)
+
+let bad_chaos p = Chaos.fire p
+
+let bad_tel tp = tp.Tel.count Tel.Read
+
+let bad_blame ~aggressor ~tvar =
+  Blame.emit ~aggressor ~tvar Blame.Read_conflict
+
+let bad_trace () = Trace.emit cat name phase []
+
+let suppressed p =
+  (* tmstatic: allow seam-guard *)
+  Chaos.fire p

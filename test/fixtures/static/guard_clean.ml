@@ -1,0 +1,21 @@
+(* Fixture: every seam emission idiom the repo uses, each dominated by
+   its disarmed check — direct guard, let-bound guard, conjunction,
+   guard flowing into a closure, and a Tel probe-field application. *)
+
+let direct p =
+  if Atomic.get Chaos.armed then Chaos.fire p;
+  if Atomic.get Trace.tracing then Trace.emit cat name phase []
+
+let let_bound () =
+  let tel = Atomic.get Tel.armed in
+  let tp = if tel then Atomic.get Tel.probe else null_probe in
+  if tel then tp.Tel.count Tel.Read;
+  if tel then tp.Tel.observe Tel.Lock (tp.Tel.now ())
+
+let conjunction stolen =
+  if stolen && Atomic.get Blame.armed then
+    Blame.emit_event ~victim:0 ~aggressor:1 ~tvar:2 Blame.Stolen
+
+let closure entries =
+  let tr = Atomic.get Trace.tracing in
+  if tr then List.iter (fun e -> Trace.emit e.cat e.name e.phase []) entries

@@ -1,0 +1,17 @@
+(* Fixture: seams armed with no paired disarm in the same top-level
+   definition.  recover() does not stop tracing, so the Trace leak
+   stands even with a recover call. *)
+
+let chaos_leak () =
+  Stm.Chaos.install (fun _ -> Stm.Chaos.Proceed);
+  run_workload ()
+
+let trace_leak_despite_recover () =
+  Stm.Trace.start ();
+  run_workload ();
+  Stm.recover ()
+
+let suppressed_leak probe =
+  (* tmstatic: allow armed-leak *)
+  Stm.Tel.install probe;
+  run_workload ()

@@ -1,0 +1,21 @@
+(* Fixture: every arm/disarm pairing the leak rule accepts — direct
+   uninstall, ~finally-bound uninstall, Stm.recover, and Trace.stop. *)
+
+let chaos_paired () =
+  Stm.Chaos.install (fun _ -> Stm.Chaos.Proceed);
+  run_workload ();
+  Stm.Chaos.uninstall ()
+
+let tel_finally probe =
+  Stm.Tel.install probe;
+  Fun.protect ~finally:Stm.Tel.uninstall run_workload
+
+let blame_recover sink =
+  Stm.Blame.install sink;
+  run_workload ();
+  Stm.recover ()
+
+let trace_paired () =
+  Stm.Trace.start ();
+  run_workload ();
+  Stm.Trace.stop ()

@@ -825,6 +825,29 @@ let blame_causes_truthful algo () =
             true (List.mem c allowed))
         (Atomic.get seen))
 
+(* The announcement tables are consumed as association keys — telemetry
+   label sets, chaos plans, blame classification — so a duplicated
+   entry or an order that varied between calls would silently skew
+   those consumers.  tmstatic cross-checks the same tables against each
+   core's emission sites at the AST level (seam-contract); this pins
+   the runtime side of that contract. *)
+let test_algo_tables_hygienic =
+  QCheck2.Test.make ~count:200
+    ~name:"Algo announcement tables are duplicate-free and order-stable"
+    ~print:Stm.Algo.name
+    QCheck2.Gen.(oneofl Stm.Algo.all)
+    (fun a ->
+      let dup_free l =
+        List.length (List.sort_uniq compare l) = List.length l
+      in
+      let stable f = f a = f a in
+      dup_free (Stm.Algo.tel_phases a)
+      && dup_free (Stm.Algo.chaos_points a)
+      && dup_free (Stm.Algo.blame_causes a)
+      && stable Stm.Algo.tel_phases
+      && stable Stm.Algo.chaos_points
+      && stable Stm.Algo.blame_causes)
+
 let () =
   Alcotest.run "tm_stm"
     [
@@ -868,6 +891,7 @@ let () =
             test_zoo_phase_mapping;
           Alcotest.test_case "chaos point mapping truthful" `Quick
             test_zoo_chaos_points;
+          QCheck_alcotest.to_alcotest test_algo_tables_hygienic;
           Alcotest.test_case "global-lock parallel counter" `Slow
             (zoo_parallel_counter Stm.Algo.Global_lock);
           Alcotest.test_case "dstm parallel counter" `Slow
