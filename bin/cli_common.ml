@@ -82,6 +82,60 @@ let algo_arg ?(default = Tm_stm.Stm.Algo.Tl2) () =
                        (Tm_stm.Stm.Algo.progress_label a))
                    Tm_stm.Stm.Algo.all))))
 
+let profile_conv : Tm_serve.Workload.profile Arg.conv =
+  let parse s =
+    match Tm_serve.Workload.profile_of_string s with
+    | Ok p -> Ok p
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv
+    (parse, fun ppf p -> Fmt.string ppf (Tm_serve.Workload.profile_name p))
+
+let profile_arg ?(default = Tm_serve.Workload.Read_mostly) () =
+  Arg.(
+    value
+    & opt profile_conv default
+    & info [ "profile" ] ~docv:"PROFILE"
+        ~doc:
+          (Fmt.str "Workload profile: %s."
+             (String.concat ", "
+                (List.map
+                   (fun p ->
+                     Fmt.str "$(b,%s) (%s)"
+                       (Tm_serve.Workload.profile_name p)
+                       (Tm_serve.Workload.describe p))
+                   Tm_serve.Workload.profiles))))
+
+(* ---- the chaos-session flags (chaos / blame / top / serve) ---- *)
+
+let domains_arg ?(default = 4) () =
+  Arg.(
+    value & opt int default
+    & info [ "d"; "domains" ] ~doc:"Worker domains to spawn (>= 2).")
+
+let warmup_arg () =
+  Arg.(
+    value & opt float 0.05
+    & info [ "warmup" ] ~docv:"SECONDS"
+        ~doc:"Settle time before the first watchdog sample.")
+
+let window_arg () =
+  Arg.(
+    value & opt float 0.15
+    & info [ "window" ] ~docv:"SECONDS"
+        ~doc:"Observation window between the two watchdog samples.")
+
+let scenario_arg ?(default = "healthy") () =
+  Arg.(
+    value
+    & opt scenario_conv default
+    & info [ "scenario" ] ~docv:"NAME"
+        ~doc:"Fault scenario to inject (see $(b,chaos --list)).")
+
+let out_arg ~doc () =
+  Arg.(
+    value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
 (* ---- output-format flags ---- *)
 
 (* One table/json converter for every subcommand that renders a document
@@ -167,6 +221,17 @@ let telemetry_writer file format =
         end
   in
   (add, flush)
+
+(* The common [--telemetry FILE] wiring: an optional [on_sample]
+   consumer plus an always-callable flush.  Every command that threads
+   scrape snapshots into [telemetry_writer] goes through here instead
+   of repeating the [Option.map] dance. *)
+let telemetry_setup telemetry telemetry_format =
+  match telemetry with
+  | None -> (None, fun () -> ())
+  | Some file ->
+      let add, flush = telemetry_writer file telemetry_format in
+      (Some add, flush)
 
 (* ---- the common simulation flags (defaults vary per subcommand) ---- *)
 

@@ -17,8 +17,12 @@ let dom d = [ ("domain", string_of_int d) ]
 let num snap name d =
   Option.value ~default:0 (Tel.Registry.sample_num snap ~name ~labels:(dom d))
 
-let aborts_of snap d =
-  max 0 (num snap "tm_chaos_attempts_total" d - num snap "tm_chaos_commits_total" d)
+(* Both session flavours register the same counter suffixes under their
+   own prefix: "tm_chaos" for `top`, "tm_serve" for `top --serve`. *)
+let aborts_of ~prefix snap d =
+  max 0
+    (num snap (prefix ^ "_attempts_total") d
+    - num snap (prefix ^ "_commits_total") d)
 
 (* Latencies are nanoseconds; pick the unit that keeps 3 digits. *)
 let pp_ns ppf ns =
@@ -70,38 +74,39 @@ let render_blame g =
   done;
   Fmt.pr "@."
 
-let render ~plain ~plan ~frame ~frames ~period ~prev ~blame snap =
+let render ~plain ~prefix ~title ~plan ~frame ~frames ~period ~prev ~blame
+    snap =
   if not plain then print_string "\027[2J\027[H";
   let nd = plan.Plan.domains in
   let rate cur pre = float (max 0 (cur - pre)) /. period in
   let dsnap name d = num snap name d in
   let dprev name d = match prev with Some p -> num p name d | None -> 0 in
   Fmt.pr
-    "tmlive top — chaos %s algo=%s seed=%d domains=%d    frame %d/%d  \
-     ts=%dms@."
-    plan.Plan.scenario
+    "tmlive top — %s %s algo=%s seed=%d domains=%d    frame %d/%d  ts=%dms@."
+    title plan.Plan.scenario
     (Tm_stm.Stm.Algo.name plan.Plan.algo)
     plan.Plan.seed nd frame frames snap.Tel.Registry.ts;
   Fmt.pr "@.%-7s %-22s %10s %10s %8s %8s %-12s@." "domain" "fault" "commit/s"
     "abort/s" "commits" "faults" "class";
   for d = 0 to nd - 1 do
-    let commits = dsnap "tm_chaos_commits_total" d in
+    let commits = dsnap (prefix ^ "_commits_total") d in
     let cls =
       Option.value ~default:"?"
         (Tel.Registry.sample_state snap ~name:"tm_liveness_class"
            ~labels:(dom d))
     in
     let crashed =
-      Tel.Registry.sample_num snap ~name:"tm_chaos_crashed" ~labels:(dom d)
+      Tel.Registry.sample_num snap ~name:(prefix ^ "_crashed") ~labels:(dom d)
       = Some 1
     in
     Fmt.pr "%-7d %-22s %10.0f %10.0f %8d %8d %-12s@." d
       (Plan.fault_label plan.Plan.faults.(d))
-      (rate commits (dprev "tm_chaos_commits_total" d))
-      (rate (aborts_of snap d)
-         (match prev with Some p -> aborts_of p d | None -> 0))
+      (rate commits (dprev (prefix ^ "_commits_total") d))
+      (rate
+         (aborts_of ~prefix snap d)
+         (match prev with Some p -> aborts_of ~prefix p d | None -> 0))
       commits
-      (dsnap "tm_chaos_injected_total" d)
+      (dsnap (prefix ^ "_injected_total") d)
       (cls ^ if crashed then " [dead]" else "")
   done;
   Fmt.pr "@.STM phase latencies (since start):@.";
@@ -123,6 +128,46 @@ let render ~plain ~plan ~frame ~frames ~period ~prev ~blame snap =
   (match blame with Some g -> render_blame g | None -> ());
   Fmt.pr "%!"
 
+(* The shared observation loop: sleep, advance the liveness gauge,
+   scrape on the wall-ms clock, export, render.  Both session flavours
+   differ only in how the session is opened and which metric prefix
+   their counters carry. *)
+let observe ~prefix ~title ~plan ~period ~frames ~plain ~tel ~tty ~reg
+    ~liveness ~blame =
+  let t0 = Unix.gettimeofday () in
+  let prev = ref None in
+  for frame = 1 to frames do
+    Unix.sleepf period;
+    ignore (Tel.Liveness_gauge.update liveness);
+    let ts = int_of_float ((Unix.gettimeofday () -. t0) *. 1000.) in
+    Option.iter Tel.Blame_graph.refresh blame;
+    let snap = Tel.Registry.scrape reg ~ts in
+    (match tel with Some (add, _) -> add snap | None -> ());
+    if tty || frame = frames then
+      render ~plain ~prefix ~title ~plan ~frame ~frames ~period ~prev:!prev
+        ~blame snap;
+    prev := Some snap
+  done
+
+let with_display ~plain ~telemetry ~telemetry_format f =
+  let tel =
+    Option.map
+      (fun file -> Cli_common.telemetry_writer file telemetry_format)
+      telemetry
+  in
+  (* Redrawing in place needs a terminal; piped output falls back to
+     plain mode, and plain mode without a terminal renders only the
+     final frame — a log or CI capture gets one coherent summary
+     instead of interleaved partial frames. *)
+  let tty = Unix.isatty Unix.stdout in
+  let plain = plain || not tty in
+  let reg = Tel.Registry.create () in
+  ignore (Tel.Stm_probe.install reg);
+  Fun.protect
+    ~finally:(fun () -> Tel.Stm_probe.uninstall ())
+    (fun () -> f ~tel ~tty ~plain ~reg);
+  match tel with Some (_, flush) -> flush () | None -> ()
+
 let run ~algo ~scenario ~seed ~domains ~tvars ~period ~frames ~plain
     ~telemetry ~telemetry_format =
   match Plan.make ~algo ~scenario ~seed ~domains () with
@@ -130,39 +175,32 @@ let run ~algo ~scenario ~seed ~domains ~tvars ~period ~frames ~plain
       Fmt.epr "error: %s@." m;
       exit 2
   | Ok plan ->
-      let tel =
-        Option.map
-          (fun file -> Cli_common.telemetry_writer file telemetry_format)
-          telemetry
-      in
-      (* Redrawing in place needs a terminal; piped output falls back to
-         plain mode, and plain mode without a terminal renders only the
-         final frame — a log or CI capture gets one coherent summary
-         instead of interleaved partial frames. *)
-      let tty = Unix.isatty Unix.stdout in
-      let plain = plain || not tty in
-      let reg = Tel.Registry.create () in
-      ignore (Tel.Stm_probe.install reg);
-      Fun.protect
-        ~finally:(fun () -> Tel.Stm_probe.uninstall ())
-        (fun () ->
+      with_display ~plain ~telemetry ~telemetry_format
+        (fun ~tel ~tty ~plain ~reg ->
           Runner.with_session ~tvars ~blame:true ~registry:reg plan (fun ses ->
-              let blame = Runner.session_blame ses in
-              let t0 = Unix.gettimeofday () in
-              let prev = ref None in
-              for frame = 1 to frames do
-                Unix.sleepf period;
-                ignore
-                  (Tel.Liveness_gauge.update (Runner.session_liveness ses));
-                let ts =
-                  int_of_float ((Unix.gettimeofday () -. t0) *. 1000.)
-                in
-                Option.iter Tel.Blame_graph.refresh blame;
-                let snap = Tel.Registry.scrape reg ~ts in
-                (match tel with Some (add, _) -> add snap | None -> ());
-                if tty || frame = frames then
-                  render ~plain ~plan ~frame ~frames ~period ~prev:!prev
-                    ~blame snap;
-                prev := Some snap
-              done));
-      (match tel with Some (_, flush) -> flush () | None -> ())
+              observe ~prefix:"tm_chaos" ~title:"chaos" ~plan ~period ~frames
+                ~plain ~tel ~tty ~reg
+                ~liveness:(Runner.session_liveness ses)
+                ~blame:(Runner.session_blame ses)))
+
+let run_serve ~algo ~profile ~scenario ~seed ~domains ~period ~frames ~plain
+    ~telemetry ~telemetry_format =
+  match Plan.make ~algo ~scenario ~seed ~domains () with
+  | Error m ->
+      Fmt.epr "error: %s@." m;
+      exit 2
+  | Ok plan ->
+      let cfg =
+        Tm_serve.Server.config ~algo ~profile ~seed ~domains ()
+      in
+      let title =
+        Fmt.str "serve[%s]" (Tm_serve.Workload.profile_name profile)
+      in
+      with_display ~plain ~telemetry ~telemetry_format
+        (fun ~tel ~tty ~plain ~reg ->
+          Tm_serve.Server.with_chaos_session ~blame:true ~registry:reg plan
+            cfg (fun ses ->
+              observe ~prefix:"tm_serve" ~title ~plan ~period ~frames ~plain
+                ~tel ~tty ~reg
+                ~liveness:(Tm_serve.Server.session_liveness ses)
+                ~blame:(Tm_serve.Server.session_blame ses)))

@@ -1009,19 +1009,14 @@ let chaos_cmd =
           Fmt.epr "error: %s@." m;
           exit 2
       | Ok plan ->
-          let tel =
-            Option.map
-              (fun file -> telemetry_writer file telemetry_format)
-              telemetry
+          let on_sample, tel_flush =
+            telemetry_setup telemetry telemetry_format
           in
-          let o =
-            Tm_chaos.Runner.run ~tvars ~warmup ~window
-              ?on_sample:(Option.map fst tel) plan
-          in
+          let o = Tm_chaos.Runner.run ~tvars ~warmup ~window ?on_sample plan in
           (match format with
           | `Table -> Fmt.pr "%a" Tm_chaos.Runner.pp_table o
           | `Json -> Fmt.pr "%s@." (Tm_chaos.Runner.to_json o));
-          (match tel with None -> () | Some (_, flush) -> flush ());
+          tel_flush ();
           (match out with
           | None -> ()
           | Some file ->
@@ -1051,32 +1046,12 @@ let chaos_cmd =
       value & flag
       & info [ "list" ] ~doc:"List the fault scenarios and exit.")
   in
-  let scenario =
-    Arg.(
-      value
-      & opt scenario_conv "healthy"
-      & info [ "scenario" ] ~docv:"NAME"
-          ~doc:"Fault scenario to inject (see $(b,--list)).")
-  in
+  let scenario = scenario_arg () in
   let seed = seed_arg () in
-  let domains =
-    Arg.(
-      value & opt int 4
-      & info [ "d"; "domains" ] ~doc:"Worker domains to spawn (>= 2).")
-  in
+  let domains = domains_arg () in
   let tvars = ntvars_arg () in
-  let warmup =
-    Arg.(
-      value & opt float 0.05
-      & info [ "warmup" ] ~docv:"SECONDS"
-          ~doc:"Settle time before the first watchdog sample.")
-  in
-  let window =
-    Arg.(
-      value & opt float 0.15
-      & info [ "window" ] ~docv:"SECONDS"
-          ~doc:"Observation window between the two watchdog samples.")
-  in
+  let warmup = warmup_arg () in
+  let window = window_arg () in
   let format =
     format_arg
       ~doc:
@@ -1085,11 +1060,7 @@ let chaos_cmd =
       ()
   in
   let out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "o"; "output" ] ~docv:"FILE"
-          ~doc:"Also write the verdict JSON document here (CI artifact).")
+    out_arg ~doc:"Also write the verdict JSON document here (CI artifact)." ()
   in
   let trace_file =
     Arg.(
@@ -1226,14 +1197,10 @@ let blame_cmd =
         Fmt.epr "error: %s@." m;
         exit 2
     | Ok plan -> (
-        let tel =
-          Option.map
-            (fun file -> telemetry_writer file telemetry_format)
-            telemetry
-        in
+        let on_sample, tel_flush = telemetry_setup telemetry telemetry_format in
         let o =
-          Tm_chaos.Runner.run ~blame:true ~tvars ~warmup ~window
-            ?on_sample:(Option.map fst tel) plan
+          Tm_chaos.Runner.run ~blame:true ~tvars ~warmup ~window ?on_sample
+            plan
         in
         match o.Tm_chaos.Runner.o_blame with
         | None -> Fmt.epr "error: blame graph missing@."; exit 2
@@ -1250,7 +1217,7 @@ let blame_cmd =
             | `Table -> blame_table Fmt.stdout o g shape evidence
             | `Json -> Fmt.pr "%s@." (blame_json o shape evidence)
             | `Dot -> Fmt.pr "%s" (blame_dot o shape evidence));
-            (match tel with None -> () | Some (_, flush) -> flush ());
+            tel_flush ();
             (match out with
             | None -> ()
             | Some file ->
@@ -1279,32 +1246,12 @@ let blame_cmd =
                   (List.length events) file);
             exit (if o.Tm_chaos.Runner.o_ok then 0 else 1))
   in
-  let scenario =
-    Arg.(
-      value
-      & opt scenario_conv "crash-holding-locks"
-      & info [ "scenario" ] ~docv:"NAME"
-          ~doc:"Fault scenario to inject (see $(b,chaos --list)).")
-  in
+  let scenario = scenario_arg ~default:"crash-holding-locks" () in
   let seed = seed_arg () in
-  let domains =
-    Arg.(
-      value & opt int 4
-      & info [ "d"; "domains" ] ~doc:"Worker domains to spawn (>= 2).")
-  in
+  let domains = domains_arg () in
   let tvars = ntvars_arg () in
-  let warmup =
-    Arg.(
-      value & opt float 0.05
-      & info [ "warmup" ] ~docv:"SECONDS"
-          ~doc:"Settle time before the first watchdog sample.")
-  in
-  let window =
-    Arg.(
-      value & opt float 0.15
-      & info [ "window" ] ~docv:"SECONDS"
-          ~doc:"Observation window between the two watchdog samples.")
-  in
+  let warmup = warmup_arg () in
+  let window = window_arg () in
   let format =
     let fmt_conv : [ `Table | `Json | `Dot ] Arg.conv =
       Arg.enum [ ("table", `Table); ("json", `Json); ("dot", `Dot) ]
@@ -1322,13 +1269,11 @@ let blame_cmd =
              table and the telemetry export.")
   in
   let out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "o"; "output" ] ~docv:"FILE"
-          ~doc:
-            "Also write the canonical document here (CI artifact): DOT if \
-             $(i,FILE) ends in $(b,.dot), JSON otherwise.")
+    out_arg
+      ~doc:
+        "Also write the canonical document here (CI artifact): DOT if \
+         $(i,FILE) ends in $(b,.dot), JSON otherwise."
+      ()
   in
   let trace_file =
     Arg.(
@@ -1363,25 +1308,30 @@ let blame_cmd =
       $ window $ format $ out $ trace_file $ telemetry $ telemetry_format)
 
 let top_cmd =
-  let run algo scenario seed domains tvars period frames plain telemetry
-      telemetry_format =
-    Dashboard.run ~algo ~scenario ~seed ~domains ~tvars ~period ~frames
-      ~plain ~telemetry ~telemetry_format
+  let run algo scenario seed domains tvars period frames plain serve profile
+      telemetry telemetry_format =
+    if serve then
+      Dashboard.run_serve ~algo ~profile ~scenario ~seed ~domains ~period
+        ~frames ~plain ~telemetry ~telemetry_format
+    else
+      Dashboard.run ~algo ~scenario ~seed ~domains ~tvars ~period ~frames
+        ~plain ~telemetry ~telemetry_format
   in
-  let scenario =
-    Arg.(
-      value
-      & opt scenario_conv "healthy"
-      & info [ "scenario" ] ~docv:"NAME"
-          ~doc:"Fault scenario to inject (see $(b,chaos --list)).")
-  in
+  let scenario = scenario_arg () in
   let seed = seed_arg () in
-  let domains =
-    Arg.(
-      value & opt int 4
-      & info [ "d"; "domains" ] ~doc:"Worker domains to spawn (>= 2).")
-  in
+  let domains = domains_arg () in
   let tvars = ntvars_arg () in
+  let serve =
+    Arg.(
+      value & flag
+      & info [ "serve" ]
+          ~doc:
+            "Observe a tmserve serving session instead of the bare chaos \
+             workers: per-domain executors run the $(b,--profile) \
+             population over the sharded store while the scenario's \
+             faults are injected into the serving path.")
+  in
+  let profile = profile_arg () in
   let period =
     Arg.(
       value & opt float 0.5
@@ -1418,7 +1368,187 @@ let top_cmd =
           domain's current Figure-2 class every scrape period.")
     Term.(
       const run $ algo_arg () $ scenario $ seed $ domains $ tvars $ period
-      $ frames $ plain $ telemetry $ telemetry_format)
+      $ frames $ plain $ serve $ profile $ telemetry $ telemetry_format)
+
+(* ------------------------------------------------------------------ *)
+
+module Serve = Tm_serve.Server
+
+let serve_cmd =
+  let run list_profiles profile algo domains seed clients ops keys stripes
+      no_batching journal queue_cap scenario warmup window format out
+      telemetry telemetry_format =
+    if list_profiles then
+      List.iter
+        (fun p ->
+          Fmt.pr "%-14s %s@."
+            (Tm_serve.Workload.profile_name p)
+            (Tm_serve.Workload.describe p))
+        Tm_serve.Workload.profiles
+    else begin
+      let cfg =
+        try
+          Serve.config ~algo ~clients ~ops ~keys ~stripes
+            ~batching:(not no_batching) ~journal ~queue_cap ~profile ~seed
+            ~domains ()
+        with Invalid_argument m ->
+          Fmt.epr "error: %s@." m;
+          exit 2
+      in
+      let on_sample, tel_flush = telemetry_setup telemetry telemetry_format in
+      match scenario with
+      | Some scenario -> (
+          (* Chaos against the serving path: verdict-gated like chaos. *)
+          match Tm_chaos.Plan.make ~algo ~scenario ~seed ~domains () with
+          | Error m ->
+              Fmt.epr "error: %s@." m;
+              exit 2
+          | Ok plan ->
+              let o = Serve.chaos_run ~warmup ~window ?on_sample plan cfg in
+              (match format with
+              | `Table -> Fmt.pr "%a@." Serve.pp_chaos_table o
+              | `Json -> Fmt.pr "%s@." (Serve.chaos_to_json o));
+              tel_flush ();
+              (match out with
+              | None -> ()
+              | Some file ->
+                  let oc = open_out file in
+                  output_string oc (Serve.chaos_to_json o);
+                  output_char oc '\n';
+                  close_out oc;
+                  Fmt.epr "verdicts written to %s@." file);
+              exit (if o.Serve.k_ok then 0 else 1))
+      | None ->
+          let o = Serve.run ?on_sample cfg in
+          (* Canonical JSON on stdout (byte-deterministic), the measured
+             human summary on stderr, so `tmlive serve ... | cmp` gates
+             work with the summary still visible. *)
+          (match format with
+          | `Json ->
+              Fmt.pr "%s@." (Serve.to_json o);
+              Fmt.epr "%a@." Serve.pp_summary o
+          | `Table -> Fmt.pr "%a@." Serve.pp_summary o);
+          tel_flush ();
+          (match out with
+          | None -> ()
+          | Some file ->
+              let oc = open_out file in
+              output_string oc (Serve.to_json o);
+              output_char oc '\n';
+              close_out oc;
+              Fmt.epr "canonical serve document written to %s@." file);
+          if not (o.Serve.s_journal_ok && o.Serve.s_conserved) then exit 1
+    end
+  in
+  let list_profiles =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the workload profiles and exit.")
+  in
+  let seed = seed_arg ~default:42 () in
+  let domains = domains_arg () in
+  let clients =
+    Arg.(
+      value & opt int 10_000
+      & info [ "clients" ] ~docv:"N"
+          ~doc:
+            "Simulated client population, multiplexed onto the worker \
+             domains (up to 10^6).")
+  in
+  let ops =
+    Arg.(
+      value & opt int 4
+      & info [ "ops" ] ~docv:"N"
+          ~doc:"Closed-loop rounds: requests per client.")
+  in
+  let keys =
+    Arg.(value & opt int 1024 & info [ "keys" ] ~docv:"N" ~doc:"Store keys.")
+  in
+  let stripes =
+    Arg.(
+      value & opt int 64
+      & info [ "stripes" ] ~docv:"N" ~doc:"Store stripes (combiner units).")
+  in
+  let no_batching =
+    Arg.(
+      value & flag
+      & info [ "no-batching" ]
+          ~doc:
+            "Disable hot-stripe flat-combining: every admitted put \
+             commits its own transaction.")
+  in
+  let journal =
+    Arg.(
+      value & flag
+      & info [ "journal" ]
+          ~doc:
+            "Arm the store journal: every mutating transaction also \
+             bumps a shared journal t-variable (conflict-universal \
+             mutators; the canonical document then checks the journal \
+             against the admitted-mutator count).")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 2048
+      & info [ "queue-cap" ] ~docv:"UNITS"
+          ~doc:
+            "Admission capacity of the per-domain bounded queue, in \
+             deterministic cost units (gets cost 8, puts/cas 14, \
+             transactions 8 + 6 per op; 12 units drain per arrival).")
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt (some scenario_conv) None
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            "Run a chaos scenario against the serving path instead of a \
+             fixed-quota profile run (see $(b,chaos --list)); exits 1 on \
+             any Figure-2 verdict mismatch.")
+  in
+  let warmup = warmup_arg () in
+  let window = window_arg () in
+  let format =
+    let fmt_conv : [ `Table | `Json ] Arg.conv =
+      Arg.enum [ ("table", `Table); ("json", `Json) ]
+    in
+    Arg.(
+      value & opt fmt_conv `Json
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Stdout rendering: $(b,json) (the canonical byte-deterministic \
+             document; the measured summary goes to stderr) or $(b,table) \
+             (the human summary).")
+  in
+  let out =
+    out_arg ~doc:"Also write the canonical JSON document here (CI artifact)."
+      ()
+  in
+  let telemetry =
+    telemetry_arg
+      ~doc:
+        "Export the serve telemetry here ($(b,-) for stdout): the \
+         canonical registry scraped on the op clock at ts 0 and ts \
+         total-requests (profile runs; byte-identical across equal runs) \
+         or at the two watchdog samples (chaos runs)."
+      ()
+  in
+  let telemetry_format = telemetry_format_arg () in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a deterministic client population against the sharded \
+          transactional KV store: per-domain executors, bounded-queue \
+          admission with overload shedding, hot-stripe flat-combining, \
+          and Zipfian read-mostly / write-heavy / long-txn / mixed \
+          profiles.  Emits a canonical byte-deterministic JSON document; \
+          $(b,--scenario) instead injects chaos faults into the serving \
+          path and gates on the per-algorithm Figure-2 verdicts.")
+    Term.(
+      const run $ list_profiles $ profile_arg () $ algo_arg () $ domains
+      $ seed $ clients $ ops $ keys $ stripes $ no_batching $ journal
+      $ queue_cap $ scenario $ warmup $ window $ format $ out $ telemetry
+      $ telemetry_format)
 
 let () =
   let info =
@@ -1433,6 +1563,7 @@ let () =
           [
             zoo_cmd; figures_cmd; simulate_cmd; game_cmd; matrix_cmd;
             monitor_cmd; sweep_cmd; trace_cmd; chaos_cmd; blame_cmd; top_cmd;
+            serve_cmd;
             analyze_cmd; static_cmd; model_check_cmd; explore_cmd;
             crash_windows_cmd; dump_cmd; check_cmd;
           ]))

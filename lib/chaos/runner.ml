@@ -116,6 +116,18 @@ let handler point =
           Tel.Instrument.incr st.ds_injected);
       action
 
+(* The fault dispatch is reusable by any harness that drives real
+   domains against an [Stm.Chaos]-instrumented core (tm_serve's chaos
+   serving sessions): bind the domain's fault and counters in DLS, then
+   install [fault_handler]. *)
+let fault_handler = handler
+
+let bind_fault fault ~ops ~injected =
+  Domain.DLS.get dls :=
+    Some { ds_fault = fault; ds_ops = ops; ds_injected = injected }
+
+let unbind_fault () = Domain.DLS.get dls := None
+
 exception Stop_worker
 
 (* Worker transactions all write t-variable 0 (plus one other), so every
@@ -141,8 +153,7 @@ exception Stop_worker
    serializer validates nothing). *)
 let worker ~stop ~shared ~mine ~algo ~fault ~parasite_gate ~ops ~injected
     ~attempts ~trycs ~commits ~crashed d () =
-  let slot = Domain.DLS.get dls in
-  slot := Some { ds_fault = fault; ds_ops = ops; ds_injected = injected };
+  bind_fault fault ~ops ~injected;
   (* Blame identity: plan slot, not raw Domain.self — unconditional
      (one DLS write per worker lifetime, nothing on the hot path). *)
   Stm.Blame.set_self d;
@@ -192,7 +203,7 @@ let worker ~stop ~shared ~mine ~algo ~fault ~parasite_gate ~ops ~injected
   | Stop_worker -> ()
   | Stm.Chaos.Crashed -> Tel.Instrument.set_gauge crashed 1);
   Stm.Blame.set_self (-1);
-  slot := None
+  unbind_fault ()
 
 let counters_of (s : sample) =
   Emp.counters ~ops:s.ops ~trycs:s.trycs ~commits:s.commits ~aborts:s.aborts

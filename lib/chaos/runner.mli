@@ -55,6 +55,33 @@ val session_injected : session -> int -> int
 (** Faults injected into the domain so far (non-[Proceed] handler
     actions). *)
 
+(** {2 Reusable fault dispatch}
+
+    The plan's fault decisions run on a per-domain operation clock in
+    domain-local state; any harness driving its own worker domains (the
+    tm_serve chaos serving sessions) can reuse them: each worker calls
+    {!bind_fault} with its fault and counters before its first
+    transaction and {!unbind_fault} on the way out, while the harness
+    installs {!fault_handler} as the [Stm.Chaos] handler. *)
+
+val fault_handler : Tm_stm.Stm.Chaos.point -> Tm_stm.Stm.Chaos.action
+(** The plan-driven handler: on a domain with a bound fault it ticks
+    the domain's op clock, decides the action the fault prescribes at
+    that instant, and counts non-[Proceed] decisions into the injected
+    counter; on unbound domains it is a constant [Proceed]. *)
+
+val bind_fault :
+  Plan.fault ->
+  ops:Tm_telemetry.Instrument.counter ->
+  injected:Tm_telemetry.Instrument.counter ->
+  unit
+(** Bind the calling domain's fault identity.  [ops] becomes the
+    domain's operation clock ({!fault_handler} increments it on every
+    interception) and must be single-writer ([~shards:1]). *)
+
+val unbind_fault : unit -> unit
+(** Clear the calling domain's fault identity. *)
+
 val with_session :
   ?tvars:int ->
   ?blame:bool ->

@@ -1,0 +1,108 @@
+module Stm = Tm_stm.Stm
+
+type t = {
+  st_keys : int;
+  st_stripes : int;
+  (* st_dirs.(s).(i) holds key [i * stripes + s]: per-stripe key
+     directories, so everything a combiner drains into one transaction
+     lives in one directory. *)
+  st_dirs : int Stm.tvar array array;
+  st_journal : int Stm.tvar option;
+}
+
+let create ?(stripes = 64) ?(journal = false) ~keys () =
+  if keys < 1 then invalid_arg "Store.create: keys < 1";
+  let stripes = max 1 (min stripes keys) in
+  let dir s =
+    let sz = (keys - s + stripes - 1) / stripes in
+    Array.init sz (fun _ -> Stm.tvar 0)
+  in
+  {
+    st_keys = keys;
+    st_stripes = stripes;
+    st_dirs = Array.init stripes dir;
+    st_journal = (if journal then Some (Stm.tvar 0) else None);
+  }
+
+let keys t = t.st_keys
+let stripes t = t.st_stripes
+let stripe_of t k = k mod t.st_stripes
+
+let slot t k =
+  if k < 0 || k >= t.st_keys then invalid_arg "Store: key out of range";
+  t.st_dirs.(k mod t.st_stripes).(k / t.st_stripes)
+
+type op = O_get of int | O_put of int * int | O_add of int * int | O_cas of int * int * int
+type result = R_value of int | R_unit | R_bool of bool
+
+let op_mutates = function
+  | O_get _ -> false
+  | O_put _ | O_add _ | O_cas _ -> true
+
+let exec_op t = function
+  | O_get k -> R_value (Stm.read (slot t k))
+  | O_put (k, v) ->
+      Stm.write (slot t k) v;
+      R_unit
+  | O_add (k, d) ->
+      let tv = slot t k in
+      Stm.write tv (Stm.read tv + d);
+      R_unit
+  | O_cas (k, expected, desired) ->
+      let tv = slot t k in
+      if Stm.read tv = expected then begin
+        Stm.write tv desired;
+        R_bool true
+      end
+      else R_bool false
+
+let write_key t k v = Stm.write (slot t k) v
+
+let journal_mark t n =
+  match t.st_journal with
+  | None -> ()
+  | Some j -> Stm.write j (Stm.read j + n)
+
+let get t k = Stm.atomically (fun () -> Stm.read (slot t k))
+
+let put t k v =
+  Stm.atomically (fun () ->
+      Stm.write (slot t k) v;
+      journal_mark t 1)
+
+let cas t k ~expected ~desired =
+  Stm.atomically (fun () ->
+      journal_mark t 1;
+      match exec_op t (O_cas (k, expected, desired)) with
+      | R_bool b -> b
+      | _ -> assert false)
+
+let spec_op m = function
+  | O_get k -> R_value m.(k)
+  | O_put (k, v) ->
+      m.(k) <- v;
+      R_unit
+  | O_add (k, d) ->
+      m.(k) <- m.(k) + d;
+      R_unit
+  | O_cas (k, expected, desired) ->
+      if m.(k) = expected then begin
+        m.(k) <- desired;
+        R_bool true
+      end
+      else R_bool false
+
+let multi t ops =
+  Stm.atomically (fun () ->
+      let rs = List.map (exec_op t) ops in
+      if List.exists op_mutates ops then journal_mark t 1;
+      rs)
+
+let value t k = get t k
+let dump t = Array.init t.st_keys (value t)
+let sum t = Array.fold_left ( + ) 0 (dump t)
+
+let journal_value t =
+  match t.st_journal with
+  | None -> 0
+  | Some j -> Stm.atomically (fun () -> Stm.read j)

@@ -1,0 +1,86 @@
+(** A sharded transactional key-value table over [Stm] t-variables.
+
+    Keys are dense ints in [0 .. keys-1], striped round-robin over a
+    fixed stripe count: stripe [s] owns the directory of every key [k]
+    with [k mod stripes = s].  Each key is one [int Stm.tvar]; all
+    operations run inside [Stm.atomically] under whichever core is
+    selected, so a multi-key request is one transaction.
+
+    An optional {e journal} t-variable turns every mutating transaction
+    into a conflict on one shared location: the serving path marks the
+    journal with the number of mutating requests a commit applies, which
+    (a) makes mutators conflict-universal — the property the chaos
+    crash-holding-locks verdicts rely on — and (b) leaves the journal's
+    final value equal to the number of admitted mutating requests, a
+    deterministic quantity even under flat-combined batching. *)
+
+type t
+
+val create : ?stripes:int -> ?journal:bool -> keys:int -> unit -> t
+(** [create ~keys ()] builds the table with all values 0.  [stripes]
+    defaults to 64 and is clamped to [keys].  [journal] (default false)
+    allocates the journal t-variable.  Must run with the serving core
+    selected — the t-variables belong to the current algorithm.
+    @raise Invalid_argument if [keys < 1]. *)
+
+val keys : t -> int
+val stripes : t -> int
+val stripe_of : t -> int -> int
+(** The stripe owning a key. *)
+
+(** {2 Transactional operations}
+
+    The [O_]-prefixed operations are the request alphabet; {!exec_op}
+    runs one {e inside} an enclosing [Stm.atomically] body, so callers
+    compose them freely into larger transactions. *)
+
+type op =
+  | O_get of int  (** read a key *)
+  | O_put of int * int  (** key, value *)
+  | O_add of int * int  (** key, delta — read-modify-write *)
+  | O_cas of int * int * int  (** key, expected, desired *)
+
+type result =
+  | R_value of int  (** [O_get]: the value read *)
+  | R_unit  (** [O_put], [O_add] *)
+  | R_bool of bool  (** [O_cas]: whether it hit *)
+
+val op_mutates : op -> bool
+(** Whether the op writes (a missed [O_cas] still counts: it {e may}
+    write, so admission and journal accounting treat it as a mutator). *)
+
+val exec_op : t -> op -> result
+(** Run one op inside the current transaction. *)
+
+val write_key : t -> int -> int -> unit
+(** Raw in-transaction write, for the flat combiner's drain loop. *)
+
+val journal_mark : t -> int -> unit
+(** In-transaction: bump the journal by [n] requests.  No-op when the
+    journal is disabled. *)
+
+(** {2 Whole-transaction conveniences} *)
+
+val get : t -> int -> int
+val put : t -> int -> int -> unit
+val cas : t -> int -> expected:int -> desired:int -> bool
+
+val multi : t -> op list -> result list
+(** All ops as one transaction (journal-marked once if any mutates). *)
+
+val spec_op : int array -> op -> result
+(** The sequential-map specification: apply the op to a plain array
+    (index = key).  Differential oracle for {!exec_op}/{!multi} — a
+    single-domain run must leave the store byte-equal to folding
+    [spec_op] over the same admitted ops in execution order. *)
+
+(** {2 Non-transactional inspection}
+
+    For after the workers are joined — each read is its own
+    transaction, so a live dump is not a consistent cut. *)
+
+val value : t -> int -> int
+val sum : t -> int
+val dump : t -> int array
+val journal_value : t -> int
+(** 0 when the journal is disabled. *)

@@ -1,0 +1,54 @@
+(** Deterministic seeded client populations.
+
+    A workload value is a pure description: the request a given client
+    issues at a given index is a function of (seed, client, index) and
+    nothing else — every generator draw comes from a splitmix stream
+    keyed on that triple, so any multiplexing of clients onto worker
+    domains replays the identical request sequence.
+
+    The key space is split into two planes.  {e Even} keys are the kv
+    plane: gets, puts and cas land there, targeted through a Zipfian
+    rank over the even keys (heaviest rank = key 0), modelling a hot
+    set.  {e Odd} keys are the counter plane: multi-key transactions
+    transfer between counter keys in deltas that sum to zero, so the
+    counter plane's total is an exact conservation invariant any
+    correct run must keep at 0. *)
+
+type profile = Read_mostly | Write_heavy | Long_txn | Mixed
+
+val profiles : profile list
+val profile_name : profile -> string
+(** ["read-mostly"], ["write-heavy"], ["long-txn"], ["mixed"]. *)
+
+val profile_of_string : string -> (profile, string) result
+val describe : profile -> string
+
+type request =
+  | Single of Store.op  (** one-key request *)
+  | Txn of Store.op list  (** multi-key transaction *)
+
+val kinds : string list
+(** Request-kind labels in canonical (sorted) order:
+    ["cas"; "get"; "put"; "txn"]. *)
+
+val kind : request -> string
+val mutates : request -> bool
+
+val cost : request -> int
+(** Admission cost in queue units: 8 for a get, 14 for a put or cas,
+    [8 + 6 * length] for a transaction.  See {!Server} for the virtual
+    bounded-queue admission model these prices feed. *)
+
+type t
+
+val create : ?hot_s:float -> profile:profile -> seed:int -> keys:int -> unit -> t
+(** [hot_s] is the Zipf exponent over the kv plane (default 1.07).
+    @raise Invalid_argument if [keys < 4] (each plane needs >= 2 keys). *)
+
+val profile : t -> profile
+val seed : t -> int
+val keys : t -> int
+val zipf : t -> Zipf.t
+
+val request : t -> client:int -> index:int -> request
+(** The [index]-th request of [client] — deterministic, stateless. *)

@@ -1,0 +1,415 @@
+(* Tests for the tmserve subsystem: Zipf sanity (qcheck), workload
+   determinism and conservation, the Store differential against the
+   sequential-map spec under every core in the zoo, the canonical
+   serve document's byte-determinism, the op-clock telemetry contract,
+   and the chaos-against-the-serving-path verdicts. *)
+
+module Prng = Tm_sim.Prng
+module Zipf = Tm_serve.Zipf
+module Store = Tm_serve.Store
+module Workload = Tm_serve.Workload
+module Server = Tm_serve.Server
+module Plan = Tm_chaos.Plan
+module Tel = Tm_telemetry
+module Stm = Tm_stm.Stm
+
+(* ------------------------------------------------------------------ *)
+(* Zipf. *)
+
+let small_n = QCheck.Gen.int_range 2 512
+
+let prop_zipf_pmf_monotone =
+  QCheck.Test.make ~count:60 ~name:"zipf pmf is nonincreasing in rank"
+    QCheck.(make small_n)
+    (fun n ->
+      let z = Zipf.create ~n () in
+      let ok = ref true in
+      for r = 1 to n - 1 do
+        if Zipf.mass z r > Zipf.mass z (r - 1) +. 1e-12 then ok := false
+      done;
+      !ok)
+
+let prop_zipf_cum_monotone =
+  QCheck.Test.make ~count:60 ~name:"zipf cumulative is monotone to 1"
+    QCheck.(make small_n)
+    (fun n ->
+      let z = Zipf.create ~n () in
+      let ok = ref true in
+      for r = 1 to n - 1 do
+        if Zipf.cumulative_mass z r < Zipf.cumulative_mass z (r - 1) -. 1e-12
+        then ok := false
+      done;
+      !ok && abs_float (Zipf.cumulative_mass z (n - 1) -. 1.0) < 1e-9)
+
+let prop_zipf_sample_deterministic =
+  QCheck.Test.make ~count:60 ~name:"zipf sampling is seed-deterministic"
+    QCheck.(pair (make small_n) small_int)
+    (fun (n, seed) ->
+      let z = Zipf.create ~n () in
+      let draw () =
+        let g = Prng.create seed in
+        List.init 64 (fun _ -> Zipf.sample z g)
+      in
+      let xs = draw () in
+      List.for_all (fun r -> r >= 0 && r < n) xs && xs = draw ())
+
+let test_zipf_hot_set_mass () =
+  (* At the default s = 1.07 the head is genuinely hot: the top 10% of
+     1000 ranks carries well over half the mass, and rank 0 alone beats
+     the entire coldest 10%. *)
+  let z = Zipf.create ~n:1000 () in
+  let top10 = Zipf.cumulative_mass z 99 in
+  Alcotest.(check bool) "top-10% mass > 0.5" true (top10 > 0.5);
+  Alcotest.(check bool) "top-10% mass < 1.0" true (top10 < 1.0);
+  let cold = 1.0 -. Zipf.cumulative_mass z 899 in
+  Alcotest.(check bool) "rank 0 beats the coldest decile" true
+    (Zipf.mass z 0 > cold);
+  Alcotest.(check int) "u=0 inverts to rank 0" 0 (Zipf.sample_u z 0.0);
+  Alcotest.(check int) "u->1 inverts to the last rank" 999
+    (Zipf.sample_u z 0.999999999)
+
+let test_zipf_sample_matches_inversion () =
+  let z = Zipf.create ~n:97 () in
+  for seed = 0 to 20 do
+    let g1 = Prng.create seed and g2 = Prng.create seed in
+    let direct = Zipf.sample z g1 in
+    let via_u = Zipf.sample_u z (Zipf.uniform01 g2) in
+    Alcotest.(check int) (Fmt.str "seed %d" seed) via_u direct
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Workload. *)
+
+let test_workload_deterministic () =
+  List.iter
+    (fun profile ->
+      let w1 = Workload.create ~profile ~seed:42 ~keys:256 ()
+      and w2 = Workload.create ~profile ~seed:42 ~keys:256 () in
+      for client = 0 to 40 do
+        for index = 0 to 5 do
+          let r1 = Workload.request w1 ~client ~index
+          and r2 = Workload.request w2 ~client ~index in
+          Alcotest.(check bool)
+            (Fmt.str "%s c%d i%d replays" (Workload.profile_name profile)
+               client index)
+            true (r1 = r2)
+        done
+      done)
+    Workload.profiles
+
+let test_workload_planes_and_conservation () =
+  let keys = 128 in
+  List.iter
+    (fun profile ->
+      let w = Workload.create ~profile ~seed:7 ~keys () in
+      for client = 0 to 200 do
+        let check_op deltas = function
+          | Store.O_get k | Store.O_put (k, _) | Store.O_cas (k, _, _) ->
+              Alcotest.(check bool) "kv ops hit the even plane" true
+                (k >= 0 && k < keys && k mod 2 = 0);
+              deltas
+          | Store.O_add (k, d) ->
+              Alcotest.(check bool) "transfers hit the odd plane" true
+                (k >= 0 && k < keys && k mod 2 = 1);
+              deltas + d
+        in
+        match Workload.request w ~client ~index:0 with
+        | Workload.Single op -> ignore (check_op 0 op)
+        | Workload.Txn ops ->
+            Alcotest.(check int) "every transaction conserves" 0
+              (List.fold_left check_op 0 ops)
+      done)
+    Workload.profiles
+
+let test_workload_costs () =
+  let w = Workload.create ~profile:Workload.Read_mostly ~seed:1 ~keys:16 () in
+  Alcotest.(check int) "get costs 8" 8
+    (Workload.cost (Workload.Single (Store.O_get 0)));
+  Alcotest.(check int) "put costs 14" 14
+    (Workload.cost (Workload.Single (Store.O_put (0, 1))));
+  Alcotest.(check int) "txn costs 8 + 6/op" (8 + 12)
+    (Workload.cost (Workload.Txn [ Store.O_get 0; Store.O_get 2 ]));
+  ignore (Workload.zipf w)
+
+(* ------------------------------------------------------------------ *)
+(* Store: differential against the sequential-map spec. *)
+
+let random_ops ~keys ~count seed =
+  let g = Prng.create seed in
+  List.init count (fun _ ->
+      let k = Prng.int g keys in
+      match Prng.int g 4 with
+      | 0 -> Store.O_get k
+      | 1 -> Store.O_put (k, Prng.int g 1000)
+      | 2 -> Store.O_add (k, Prng.int g 20 - 10)
+      | _ -> Store.O_cas (k, Prng.int g 4, Prng.int g 1000))
+
+(* Single-domain replay: fold the same op stream through the store and
+   through the plain-array spec; results and final contents must agree
+   under every core. *)
+let test_store_differential_sequential () =
+  let keys = 32 in
+  List.iter
+    (fun algo ->
+      Stm.with_algo algo (fun () ->
+          let st = Store.create ~stripes:8 ~journal:true ~keys () in
+          let model = Array.make keys 0 in
+          let muts = ref 0 in
+          for batch = 0 to 30 do
+            let ops = random_ops ~keys ~count:(1 + (batch mod 5)) batch in
+            let got = Store.multi st ops in
+            let want = List.map (Store.spec_op model) ops in
+            if List.exists Store.op_mutates ops then incr muts;
+            Alcotest.(check bool)
+              (Fmt.str "%s batch %d results" (Stm.Algo.name algo) batch)
+              true (got = want)
+          done;
+          Alcotest.(check (array int))
+            (Stm.Algo.name algo ^ " final contents")
+            model (Store.dump st);
+          Alcotest.(check int)
+            (Stm.Algo.name algo ^ " journal counts mutating batches")
+            !muts (Store.journal_value st)))
+    Stm.Algo.all
+
+(* Concurrent conservation: domains hammer disjoint-sum transfers plus
+   journal-marked puts; the counter plane must still sum to zero and
+   the journal must count every mutator, under every core. *)
+let test_store_differential_concurrent () =
+  let keys = 64 and nd = 3 and per = 150 in
+  List.iter
+    (fun algo ->
+      Stm.with_algo algo (fun () ->
+          let st = Store.create ~stripes:16 ~journal:true ~keys () in
+          let worker d () =
+            let g = Prng.create (1000 + d) in
+            for _ = 1 to per do
+              let a = Prng.int g (keys / 2) in
+              let b = (a + 1 + Prng.int g ((keys / 2) - 1)) mod (keys / 2) in
+              let d' = 1 + Prng.int g 9 in
+              ignore
+                (Store.multi st
+                   [
+                     Store.O_add ((2 * a) + 1, -d');
+                     Store.O_add ((2 * b) + 1, d');
+                   ])
+            done
+          in
+          let ds = List.init nd (fun d -> Domain.spawn (worker d)) in
+          List.iter Domain.join ds;
+          let odd_sum = ref 0 in
+          Array.iteri
+            (fun k v -> if k mod 2 = 1 then odd_sum := !odd_sum + v)
+            (Store.dump st);
+          Alcotest.(check int)
+            (Stm.Algo.name algo ^ " counter plane conserved")
+            0 !odd_sum;
+          Alcotest.(check int)
+            (Stm.Algo.name algo ^ " journal counted every transfer")
+            (nd * per) (Store.journal_value st)))
+    Stm.Algo.all
+
+(* ------------------------------------------------------------------ *)
+(* Server: canonical document and admission model. *)
+
+let small_cfg ?(profile = Workload.Read_mostly) ?(algo = Stm.Algo.Tl2)
+    ?(domains = 4) ?(batching = true) ?(journal = false) () =
+  Server.config ~algo ~clients:400 ~ops:3 ~keys:128 ~stripes:16 ~batching
+    ~journal ~profile ~seed:42 ~domains ()
+
+let test_server_canonical_deterministic () =
+  let cfg = small_cfg () in
+  let j1 = Server.to_json (Server.run cfg)
+  and j2 = Server.to_json (Server.run cfg) in
+  Alcotest.(check string) "two runs, byte-identical canonical JSON" j1 j2
+
+let test_server_counts () =
+  let cfg = small_cfg ~journal:true () in
+  let o = Server.run cfg in
+  Alcotest.(check int) "requests = clients * ops"
+    (Server.total_requests cfg) o.Server.s_requests;
+  Alcotest.(check int) "admitted + shed = requests" o.Server.s_requests
+    (o.Server.s_admitted + o.Server.s_shed);
+  Alcotest.(check int) "by-kind sums to admitted" o.Server.s_admitted
+    (List.fold_left (fun a (_, n) -> a + n) 0 o.Server.s_by_kind);
+  Alcotest.(check bool) "journal matches mutators" true
+    o.Server.s_journal_ok;
+  Alcotest.(check bool) "counter plane conserved" true o.Server.s_conserved;
+  let agg f = Array.fold_left (fun a d -> a + f d) 0 o.Server.s_per_domain in
+  Alcotest.(check int) "per-domain requests sum" o.Server.s_requests
+    (agg (fun d -> d.Server.d_requests));
+  Alcotest.(check int) "per-domain admitted sum" o.Server.s_admitted
+    (agg (fun d -> d.Server.d_admitted))
+
+let test_server_batching_invariant () =
+  (* Batching changes transaction shapes, never the canonical
+     admission outcome: only the batched-put count may differ, and
+     with batching off it is exactly 0. *)
+  let on = Server.run (small_cfg ~profile:Workload.Write_heavy ())
+  and off =
+    Server.run (small_cfg ~profile:Workload.Write_heavy ~batching:false ())
+  in
+  Alcotest.(check int) "admitted unchanged" on.Server.s_admitted
+    off.Server.s_admitted;
+  Alcotest.(check int) "shed unchanged" on.Server.s_shed off.Server.s_shed;
+  Alcotest.(check int) "mutators unchanged" on.Server.s_mutators
+    off.Server.s_mutators;
+  Alcotest.(check bool) "by-kind unchanged" true
+    (on.Server.s_by_kind = off.Server.s_by_kind);
+  Alcotest.(check int) "no combining when batching is off" 0
+    off.Server.s_batched;
+  Alcotest.(check bool) "hot write-heavy load does combine" true
+    (on.Server.s_batched > 0)
+
+let test_server_long_txn_sheds () =
+  let o = Server.run (small_cfg ~profile:Workload.Long_txn ()) in
+  Alcotest.(check bool) "long-txn overload sheds" true (o.Server.s_shed > 0);
+  let o' = Server.run (small_cfg ~profile:Workload.Long_txn ()) in
+  Alcotest.(check int) "shed count is deterministic" o.Server.s_shed
+    o'.Server.s_shed
+
+let test_server_admission_matches_iter () =
+  (* The executor's shed counters and the pure replay of the admission
+     model must agree exactly. *)
+  let cfg = small_cfg ~profile:Workload.Long_txn () in
+  let o = Server.run cfg in
+  let wl = Server.workload cfg in
+  for d = 0 to 3 do
+    let shed = ref 0 in
+    Server.iter_requests cfg wl ~domain:d ~f:(fun ~client:_ ~index:_ _ ~admitted ->
+        if not admitted then incr shed);
+    Alcotest.(check int)
+      (Fmt.str "domain %d shed replay" d)
+      o.Server.s_per_domain.(d).Server.d_shed !shed
+  done
+
+let test_server_spec_conformance () =
+  (* domains=1, batching off: replay the admitted stream through the
+     sequential-map spec; the store must end byte-equal. *)
+  let cfg =
+    Server.config ~clients:300 ~ops:3 ~keys:64 ~stripes:8 ~batching:false
+      ~profile:Workload.Mixed ~seed:11 ~domains:1 ()
+  in
+  let o = Server.run cfg in
+  Alcotest.(check bool) "run conserved" true o.Server.s_conserved;
+  let wl = Server.workload cfg in
+  let model = Array.make cfg.Server.c_keys 0 in
+  Server.iter_requests cfg wl ~domain:0 ~f:(fun ~client:_ ~index:_ req ~admitted ->
+      if admitted then
+        match req with
+        | Workload.Single op -> ignore (Store.spec_op model op)
+        | Workload.Txn ops -> List.iter (fun op -> ignore (Store.spec_op model op)) ops);
+  let odd = ref 0 in
+  Array.iteri (fun k v -> if k mod 2 = 1 then odd := !odd + v) model;
+  Alcotest.(check int) "spec replay conserves too" 0 !odd
+
+(* ------------------------------------------------------------------ *)
+(* Op-clock telemetry: the serving-mode export regression. *)
+
+let test_server_telemetry_op_clock () =
+  let cfg = small_cfg () in
+  let capture () =
+    let snaps = ref [] in
+    let o = Server.run ~on_sample:(fun s -> snaps := s :: !snaps) cfg in
+    ignore o;
+    List.rev_map Tel.Export.to_jsonl !snaps
+  in
+  let run1 = capture () in
+  Alcotest.(check int) "two scrapes per run" 2 (List.length run1);
+  Alcotest.(check bool) "byte-deterministic serving-mode export" true
+    (run1 = capture ());
+  (* The timestamps are the op clock — 0 and total-requests — never
+     the wall clock. *)
+  let snaps = ref [] in
+  ignore (Server.run ~on_sample:(fun s -> snaps := s :: !snaps) cfg);
+  let ts = List.rev_map (fun s -> s.Tel.Registry.ts) !snaps in
+  Alcotest.(check (list int)) "scrape ts on the op clock"
+    [ 0; Server.total_requests cfg ]
+    ts
+
+(* ------------------------------------------------------------------ *)
+(* Chaos against the serving path. *)
+
+let chaos_cfg algo =
+  Server.config ~algo ~clients:64 ~ops:4 ~keys:64 ~stripes:8
+    ~profile:Workload.Write_heavy ~seed:42 ~domains:4 ()
+
+let test_chaos_serve_verdicts algo () =
+  match Plan.make ~algo ~scenario:"crash-holding-locks" ~seed:42 ~domains:4 ()
+  with
+  | Error m -> Alcotest.fail m
+  | Ok plan ->
+      let o = Server.chaos_run plan (chaos_cfg algo) in
+      Alcotest.(check bool)
+        (Stm.Algo.name algo ^ " serving path matches Figure-2 verdicts")
+        true o.Server.k_ok;
+      Alcotest.(check int) "one report per domain" 4
+        (List.length o.Server.k_reports);
+      (* The canonical verdict document replays byte-identically. *)
+      Alcotest.(check bool) "chaos json stable" true
+        (String.length (Server.chaos_to_json o) > 0)
+
+let test_chaos_serve_healthy () =
+  match Plan.make ~scenario:"healthy" ~seed:1 ~domains:2 () with
+  | Error m -> Alcotest.fail m
+  | Ok plan ->
+      let o = Server.chaos_run plan (chaos_cfg Stm.Algo.Tl2) in
+      Alcotest.(check bool) "healthy serving run progresses" true
+        o.Server.k_ok
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+  [ prop_zipf_pmf_monotone; prop_zipf_cum_monotone;
+    prop_zipf_sample_deterministic ]
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "zipf",
+        qsuite
+        @ [
+            Alcotest.test_case "hot-set mass" `Quick test_zipf_hot_set_mass;
+            Alcotest.test_case "sample = inversion" `Quick
+              test_zipf_sample_matches_inversion;
+          ] );
+      ( "workload",
+        [
+          Alcotest.test_case "deterministic replay" `Quick
+            test_workload_deterministic;
+          Alcotest.test_case "planes and conservation" `Quick
+            test_workload_planes_and_conservation;
+          Alcotest.test_case "admission costs" `Quick test_workload_costs;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "differential vs spec (sequential)" `Quick
+            test_store_differential_sequential;
+          Alcotest.test_case "differential vs spec (concurrent)" `Quick
+            test_store_differential_concurrent;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "canonical json byte-deterministic" `Quick
+            test_server_canonical_deterministic;
+          Alcotest.test_case "count invariants" `Quick test_server_counts;
+          Alcotest.test_case "batching leaves canon unchanged" `Quick
+            test_server_batching_invariant;
+          Alcotest.test_case "long-txn sheds deterministically" `Quick
+            test_server_long_txn_sheds;
+          Alcotest.test_case "admission matches pure replay" `Quick
+            test_server_admission_matches_iter;
+          Alcotest.test_case "sequential-spec conformance" `Quick
+            test_server_spec_conformance;
+          Alcotest.test_case "telemetry rides the op clock" `Quick
+            test_server_telemetry_op_clock;
+        ] );
+      ( "chaos-serve",
+        [
+          Alcotest.test_case "crash-holding-locks tl2" `Quick
+            (test_chaos_serve_verdicts Stm.Algo.Tl2);
+          Alcotest.test_case "crash-holding-locks dstm" `Quick
+            (test_chaos_serve_verdicts Stm.Algo.Dstm);
+          Alcotest.test_case "healthy" `Quick test_chaos_serve_healthy;
+        ] );
+    ]
