@@ -2001,6 +2001,168 @@ let p12_serve () =
 
 (* ------------------------------------------------------------------ *)
 
+(* P13: open-loop load observability.  Three claims.  (a) The canonical
+   loadcurve document is a pure function of its plan (byte-identical
+   across runs; the CLI gate additionally compares across --domains).
+   (b) Coordinated omission: against a server stalled by a crash holding
+   commit locks, the closed-loop p99 (completed samples only) freezes
+   while the open-loop p99 (censored in-flight arrivals folded in) grows
+   monotonically with the stall — the exact blindness the recorder
+   exists to remove.  (c) On >= 4 cores, the measured knee of the
+   global-lock serializer does not exceed tl2's on the conflict-heavy
+   profile.  The trajectory goes to BENCH_loadcurve.json
+   ([TM_BENCH_LOADCURVE_OUT] overrides the path). *)
+
+let p13_loadcurve () =
+  let module Stm = Tm_stm.Stm in
+  let module Workload = Tm_serve.Workload in
+  let module Server = Tm_serve.Server in
+  let module Lc = Tm_serve.Loadcurve in
+  let module Lrec = Tm_telemetry.Latency_recorder in
+  section "P13" "open-loop loadcurve: determinism, coordinated omission, knee";
+  let cores = Domain.recommended_domain_count () in
+  let ladder =
+    [ 5_000.; 10_000.; 20_000.; 40_000.; 80_000.; 160_000.; 320_000. ]
+  in
+  let cfg =
+    Server.config ~clients:4_000 ~ops:2 ~keys:64
+      ~profile:Workload.Mixed ~seed:42 ~domains:1 ()
+  in
+  (* (a) Determinism of the canonical model. *)
+  let curve = Lc.run ~kind:Tm_serve.Arrival.Poisson ~ladder cfg in
+  let j1 = Lc.to_json curve
+  and j2 = Lc.to_json (Lc.run ~kind:Tm_serve.Arrival.Poisson ~ladder cfg) in
+  let deterministic = String.equal j1 j2 in
+  check "canonical loadcurve document is byte-deterministic" ~paper:true
+    ~measured:deterministic;
+  let model_knee = Lc.knee (Lc.curve_xy curve) in
+  check "model knee lies inside the swept ladder" ~paper:true
+    ~measured:(model_knee > List.hd ladder
+              && model_knee < List.nth ladder (List.length ladder - 1));
+  (* (b) The coordinated-omission gate: strand the serving path under a
+     crash that holds the global serializer, then watch both p99s. *)
+  let co_samples =
+    match
+      Tm_chaos.Plan.make ~algo:Stm.Algo.Global_lock
+        ~scenario:"crash-holding-locks" ~seed:42 ~domains:4 ()
+    with
+    | Error _ -> []
+    | Ok plan ->
+        let ccfg =
+          Server.config ~algo:Stm.Algo.Global_lock ~clients:64 ~ops:4
+            ~keys:64 ~stripes:4 ~profile:Workload.Write_heavy ~seed:42
+            ~domains:4 ()
+        in
+        Server.with_chaos_session ~latency:true plan ccfg (fun ses ->
+            let r = Option.get (Server.session_latency ses) in
+            (* Crash onset is a few hundred ops in (microseconds); after
+               the warmup the whole peer set is stranded. *)
+            Unix.sleepf 0.08;
+            List.map
+              (fun _ ->
+                let now = Lrec.now_ns () in
+                let s =
+                  ( Lrec.open_quantile r ~now 0.99,
+                    Lrec.closed_quantile r 0.99,
+                    Lrec.oldest_age r ~now )
+                in
+                Unix.sleepf 0.06;
+                s)
+              [ 0; 1; 2 ])
+  in
+  let co_open = List.map (fun (o, _, _) -> o) co_samples
+  and co_closed = List.map (fun (_, c, _) -> c) co_samples
+  and co_ages = List.map (fun (_, _, a) -> a) co_samples in
+  let open_grows =
+    match co_open with [ o1; o2; o3 ] -> o1 < o2 && o2 < o3 | _ -> false
+  in
+  let closed_flat =
+    match co_closed with [ c1; _; c3 ] -> c1 = c3 | _ -> false
+  in
+  let ages_grow =
+    match co_ages with [ a1; a2; a3 ] -> a1 < a2 && a2 < a3 | _ -> false
+  in
+  check "stalled server: open-loop p99 grows monotonically" ~paper:true
+    ~measured:open_grows;
+  check "stalled server: closed-loop p99 stays flat (the blindness)"
+    ~paper:true ~measured:closed_flat;
+  check "stalled server: oldest in-flight age grows monotonically"
+    ~paper:true ~measured:ages_grow;
+  (* (c) Measured knees, hardware-gated: on one oversubscribed core the
+     spin-paced executors measure the OS scheduler, not the server. *)
+  let mladder = [ 25_000.; 50_000.; 100_000.; 200_000.; 400_000. ] in
+  let measured_ran = cores >= 4 in
+  let knee_of algo =
+    let mcfg =
+      Server.config ~algo ~clients:4_000 ~ops:2 ~keys:64
+        ~profile:Workload.Mixed ~seed:42 ~domains:4 ()
+    in
+    let ms = Lc.measure ~kind:Tm_serve.Arrival.Poisson ~ladder:mladder mcfg in
+    List.iter (fun m -> Fmt.pr "    %s %a@." (Stm.Algo.name algo) Lc.pp_mpoint m) ms;
+    Lc.knee (Lc.measure_xy ms)
+  in
+  let knee_gl, knee_tl2, knee_holds =
+    if measured_ran then begin
+      let kg = knee_of Stm.Algo.Global_lock in
+      let kt = knee_of Stm.Algo.Tl2 in
+      (kg, kt, kg <= kt)
+    end
+    else (0.0, 0.0, true)
+  in
+  if measured_ran then
+    check
+      (Fmt.str
+         "global-lock knee (%.0f) does not exceed tl2 knee (%.0f) on the \
+          conflict-heavy profile"
+         knee_gl knee_tl2)
+      ~paper:true ~measured:knee_holds
+  else
+    Fmt.pr
+      "    only %d core(s) available: the measured knee would gauge the OS \
+       scheduler;@.    skipping the knee check (see EXPERIMENTS.md, P13)@."
+      cores;
+  let out =
+    Option.value ~default:"BENCH_loadcurve.json"
+      (Sys.getenv_opt "TM_BENCH_LOADCURVE_OUT")
+  in
+  let oc = open_out out in
+  let ints l = String.concat "," (List.map string_of_int l) in
+  let json =
+    Fmt.str
+      "{\"experiment\":\"P13\",\"claim\":\"open-loop measurement exposes \
+       the stalls closed-loop latency hides, and the loadcurve knee orders \
+       global-lock at or below tl2 under conflict\",\
+       \"cores\":%d,\"profile\":\"mixed\",\"clients\":4000,\
+       \"ops_per_client\":2,\"seed\":42,\
+       \"determinism\":{\"holds\":%b},\
+       \"model\":{\"knee\":%.1f,\"rungs\":[%s]},\
+       \"co\":{\"scenario\":\"crash-holding-locks\",\"algo\":\"global-lock\",\
+       \"open_p99_ns\":[%s],\"closed_p99_ns\":[%s],\"oldest_age_ns\":[%s],\
+       \"open_grows\":%b,\"closed_flat\":%b},\
+       \"measured\":{\"ran\":%b,\"ladder\":[%s],\"knee_global_lock\":%.1f,\
+       \"knee_tl2\":%.1f,\"holds\":%b}}"
+      cores deterministic model_knee
+      (String.concat ","
+         (List.map
+            (fun (p : Lc.point) ->
+              Fmt.str
+                "{\"rate\":%.1f,\"achieved\":%.1f,\"shed_fraction\":%.6f,\
+                 \"sojourn_p99_ns\":%d}"
+                p.Lc.p_rate p.Lc.p_achieved (Lc.shed_fraction p)
+                p.Lc.p_sojourn.Lc.q99)
+            curve.Lc.v_points))
+      (ints co_open) (ints co_closed) (ints co_ages) open_grows closed_flat
+      measured_ran
+      (String.concat "," (List.map (Fmt.str "%.0f") mladder))
+      knee_gl knee_tl2 knee_holds
+  in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "    trajectory written to %s@." out
+
+(* ------------------------------------------------------------------ *)
+
 (* Every section of the harness, in run order, keyed for the
    [TM_BENCH_SECTIONS] filter: a comma-separated list of keys runs just
    those sections (e.g. TM_BENCH_SECTIONS=p9 in the CI bench job);
@@ -2037,6 +2199,7 @@ let bench_sections : (string * (unit -> unit)) list =
     ("p10", p10_blame_overhead);
     ("p11", p11_static_analysis);
     ("p12", p12_serve);
+    ("p13", p13_loadcurve);
     ("bechamel", bechamel_benches);
   ]
 

@@ -106,6 +106,61 @@ let profile_arg ?(default = Tm_serve.Workload.Read_mostly) () =
                        (Tm_serve.Workload.describe p))
                    Tm_serve.Workload.profiles))))
 
+let arrival_conv : Tm_serve.Arrival.kind Arg.conv =
+  let parse s =
+    match Tm_serve.Arrival.kind_of_string s with
+    | Some k -> Ok k
+    | None ->
+        Error
+          (`Msg (Fmt.str "unknown arrival process %S (try: poisson, constant)" s))
+  in
+  Arg.conv
+    (parse, fun ppf k -> Fmt.string ppf (Tm_serve.Arrival.kind_name k))
+
+(* Rates are requests per second; every open-loop flag shares one
+   converter so a zero, negative or NaN rate is rejected in one place
+   with the same message. *)
+let rate_conv : float Arg.conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some r when r > 0.0 && Float.is_finite r -> Ok r
+    | Some _ ->
+        Error
+          (`Msg
+            (Fmt.str
+               "rate %s: must be a positive (finite) number of requests \
+                per second"
+               s))
+    | None -> Error (`Msg (Fmt.str "rate %S: not a number" s))
+  in
+  Arg.conv (parse, fun ppf r -> Fmt.pf ppf "%g" r)
+
+let arrival_arg () =
+  Arg.(
+    value
+    & opt (some arrival_conv) None
+    & info [ "arrival" ] ~docv:"PROCESS"
+        ~doc:
+          "Open-loop arrival process: $(b,poisson) (exponential \
+           inter-arrivals) or $(b,constant) (fixed period).  Requires \
+           $(b,--rate); without this flag the run is closed-loop.")
+
+let rate_arg () =
+  Arg.(
+    value
+    & opt (some rate_conv) None
+    & info [ "rate" ] ~docv:"REQ_PER_S"
+        ~doc:"Offered arrival rate in requests per second (positive).")
+
+let rates_arg ~default () =
+  Arg.(
+    value
+    & opt (list rate_conv) default
+    & info [ "rates" ] ~docv:"R1,R2,..."
+        ~doc:
+          "Rate ladder: comma-separated offered rates in requests per \
+           second, swept in order (each positive).")
+
 (* ---- the chaos-session flags (chaos / blame / top / serve) ---- *)
 
 let domains_arg ?(default = 4) () =

@@ -74,6 +74,40 @@ let render_blame g =
   done;
   Fmt.pr "@."
 
+(* The open-loop latency panel: sojourn percentiles from the hires
+   histogram, the coordinated-omission split (open vs closed p99) and
+   each domain's starvation age — all read from the scrape, which
+   [observe] refreshes via [Latency_recorder.publish] each frame.
+   Sessions opened without the recorder simply have no such series and
+   the panel stays hidden. *)
+let render_latency ~prefix ~nd snap =
+  let m = prefix ^ "_lat" in
+  match
+    Tel.Registry.sample_hist snap ~name:(m ^ "_sojourn_ns") ~labels:[]
+  with
+  | None -> ()
+  | Some h ->
+      Fmt.pr "@.open-loop latency (sojourn since scheduled arrival):@.";
+      (if h.Tel.Instrument.count = 0 then Fmt.pr "  (no completions yet)@."
+       else
+         let q p = Fmt.str "%a" pp_ns (Tel.Instrument.hires_quantile h p) in
+         Fmt.pr "  sojourn n=%d p50=%s p99=%s p99.9=%s max=%a@."
+           h.Tel.Instrument.count (q 0.50) (q 0.99) (q 0.999) pp_ns
+           h.Tel.Instrument.max_sample);
+      let gauge name =
+        Option.value ~default:0
+          (Tel.Registry.sample_num snap ~name ~labels:[])
+      in
+      Fmt.pr "  p99 open=%a closed=%a" pp_ns
+        (gauge (m ^ "_open_p99_ns"))
+        pp_ns
+        (gauge (m ^ "_closed_p99_ns"));
+      Fmt.pr "   starvation-age:";
+      for d = 0 to nd - 1 do
+        Fmt.pr " d%d=%a" d pp_ns (num snap (m ^ "_oldest_inflight_age_ns") d)
+      done;
+      Fmt.pr "@."
+
 let render ~plain ~prefix ~title ~plan ~frame ~frames ~period ~prev ~blame
     snap =
   if not plain then print_string "\027[2J\027[H";
@@ -125,6 +159,7 @@ let render ~plain ~prefix ~title ~plan ~frame ~frames ~period ~prev ~blame
               h.Tel.Instrument.count (q 0.50) (q 0.90) (q 0.99)
               (Fmt.str "%a" pp_ns h.Tel.Instrument.max_sample))
     phase_rows;
+  render_latency ~prefix ~nd snap;
   (match blame with Some g -> render_blame g | None -> ());
   Fmt.pr "%!"
 
@@ -133,7 +168,7 @@ let render ~plain ~prefix ~title ~plan ~frame ~frames ~period ~prev ~blame
    differ only in how the session is opened and which metric prefix
    their counters carry. *)
 let observe ~prefix ~title ~plan ~period ~frames ~plain ~tel ~tty ~reg
-    ~liveness ~blame =
+    ~liveness ~blame ~latency =
   let t0 = Unix.gettimeofday () in
   let prev = ref None in
   for frame = 1 to frames do
@@ -141,6 +176,10 @@ let observe ~prefix ~title ~plan ~period ~frames ~plain ~tel ~tty ~reg
     ignore (Tel.Liveness_gauge.update liveness);
     let ts = int_of_float ((Unix.gettimeofday () -. t0) *. 1000.) in
     Option.iter Tel.Blame_graph.refresh blame;
+    Option.iter
+      (fun r ->
+        Tel.Latency_recorder.publish r ~now:(Tel.Latency_recorder.now_ns ()))
+      latency;
     let snap = Tel.Registry.scrape reg ~ts in
     (match tel with Some (add, _) -> add snap | None -> ());
     if tty || frame = frames then
@@ -177,11 +216,13 @@ let run ~algo ~scenario ~seed ~domains ~tvars ~period ~frames ~plain
   | Ok plan ->
       with_display ~plain ~telemetry ~telemetry_format
         (fun ~tel ~tty ~plain ~reg ->
-          Runner.with_session ~tvars ~blame:true ~registry:reg plan (fun ses ->
+          Runner.with_session ~tvars ~blame:true ~latency:true ~registry:reg
+            plan (fun ses ->
               observe ~prefix:"tm_chaos" ~title:"chaos" ~plan ~period ~frames
                 ~plain ~tel ~tty ~reg
                 ~liveness:(Runner.session_liveness ses)
-                ~blame:(Runner.session_blame ses)))
+                ~blame:(Runner.session_blame ses)
+                ~latency:(Runner.session_latency ses)))
 
 let run_serve ~algo ~profile ~scenario ~seed ~domains ~period ~frames ~plain
     ~telemetry ~telemetry_format =
@@ -198,9 +239,10 @@ let run_serve ~algo ~profile ~scenario ~seed ~domains ~period ~frames ~plain
       in
       with_display ~plain ~telemetry ~telemetry_format
         (fun ~tel ~tty ~plain ~reg ->
-          Tm_serve.Server.with_chaos_session ~blame:true ~registry:reg plan
-            cfg (fun ses ->
+          Tm_serve.Server.with_chaos_session ~blame:true ~latency:true
+            ~registry:reg plan cfg (fun ses ->
               observe ~prefix:"tm_serve" ~title ~plan ~period ~frames ~plain
                 ~tel ~tty ~reg
                 ~liveness:(Tm_serve.Server.session_liveness ses)
-                ~blame:(Tm_serve.Server.session_blame ses)))
+                ~blame:(Tm_serve.Server.session_blame ses)
+                ~latency:(Tm_serve.Server.session_latency ses)))

@@ -1376,8 +1376,8 @@ module Serve = Tm_serve.Server
 
 let serve_cmd =
   let run list_profiles profile algo domains seed clients ops keys stripes
-      no_batching journal queue_cap scenario warmup window format out
-      telemetry telemetry_format =
+      no_batching journal queue_cap arrival rate scenario warmup window
+      format out telemetry telemetry_format =
     if list_profiles then
       List.iter
         (fun p ->
@@ -1386,11 +1386,30 @@ let serve_cmd =
             (Tm_serve.Workload.describe p))
         Tm_serve.Workload.profiles
     else begin
+      let arrival =
+        match (arrival, rate) with
+        | None, None -> None
+        | Some kind, Some rate ->
+            if scenario <> None then begin
+              Fmt.epr
+                "error: --arrival applies to profile runs, not --scenario \
+                 chaos runs@.";
+              exit 2
+            end;
+            Some (Tm_serve.Arrival.make ~kind ~rate ~seed)
+        | Some _, None ->
+            Fmt.epr "error: --arrival requires --rate REQ_PER_S@.";
+            exit 2
+        | None, Some _ ->
+            Fmt.epr
+              "error: --rate requires --arrival (poisson or constant)@.";
+            exit 2
+      in
       let cfg =
         try
           Serve.config ~algo ~clients ~ops ~keys ~stripes
-            ~batching:(not no_batching) ~journal ~queue_cap ~profile ~seed
-            ~domains ()
+            ~batching:(not no_batching) ~journal ~queue_cap ?arrival
+            ~profile ~seed ~domains ()
         with Invalid_argument m ->
           Fmt.epr "error: %s@." m;
           exit 2
@@ -1506,6 +1525,8 @@ let serve_cmd =
              fixed-quota profile run (see $(b,chaos --list)); exits 1 on \
              any Figure-2 verdict mismatch.")
   in
+  let arrival = arrival_arg () in
+  let rate = rate_arg () in
   let warmup = warmup_arg () in
   let window = window_arg () in
   let format =
@@ -1547,8 +1568,143 @@ let serve_cmd =
     Term.(
       const run $ list_profiles $ profile_arg () $ algo_arg () $ domains
       $ seed $ clients $ ops $ keys $ stripes $ no_batching $ journal
-      $ queue_cap $ scenario $ warmup $ window $ format $ out $ telemetry
-      $ telemetry_format)
+      $ queue_cap $ arrival $ rate $ scenario $ warmup $ window $ format
+      $ out $ telemetry $ telemetry_format)
+
+module Loadcurve = Tm_serve.Loadcurve
+
+let loadcurve_cmd =
+  let run profile algo domains seed clients ops keys queue_cap quantum
+      arrival rates measure format out telemetry telemetry_format =
+    let cfg =
+      try
+        Serve.config ~algo ~clients ~ops ~keys ~queue_cap ~profile ~seed
+          ~domains ()
+      with Invalid_argument m ->
+        Fmt.epr "error: %s@." m;
+        exit 2
+    in
+    let kind =
+      Option.value arrival ~default:Tm_serve.Arrival.Poisson
+    in
+    let on_sample, tel_flush = telemetry_setup telemetry telemetry_format in
+    let curve =
+      try
+        Loadcurve.run ~quantum_ns:quantum ?on_sample ~kind ~ladder:rates cfg
+      with Invalid_argument m ->
+        Fmt.epr "error: %s@." m;
+        exit 2
+    in
+    (* Canonical JSON on stdout, the human table on stderr (json format),
+       mirroring serve: `tmlive loadcurve | cmp` gates stay quiet. *)
+    (match format with
+    | `Json ->
+        Fmt.pr "%s@." (Loadcurve.to_json curve);
+        Fmt.epr "%a@." Loadcurve.pp_curve curve
+    | `Table -> Fmt.pr "%a@." Loadcurve.pp_curve curve);
+    tel_flush ();
+    (match out with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Loadcurve.to_json curve);
+        output_char oc '\n';
+        close_out oc;
+        Fmt.epr "canonical loadcurve document written to %s@." file);
+    if measure then begin
+      (* Measured rungs: real multicore runs, wall-clock results — all
+         on stderr, never canonical. *)
+      Fmt.epr "measuring the real server across the ladder (domains=%d, \
+               algo=%s)...@."
+        domains
+        (Tm_stm.Stm.Algo.name algo);
+      let ms = Loadcurve.measure ~kind ~ladder:rates cfg in
+      List.iter (fun m -> Fmt.epr "%a@." Loadcurve.pp_mpoint m) ms;
+      Fmt.epr "measured knee (achieved >= 0.85 offered): %.0f req/s@."
+        (Loadcurve.knee (Loadcurve.measure_xy ms))
+    end
+  in
+  let seed = seed_arg ~default:42 () in
+  let domains = domains_arg () in
+  let clients =
+    Arg.(
+      value & opt int 10_000
+      & info [ "clients" ] ~docv:"N" ~doc:"Simulated client population.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 4
+      & info [ "ops" ] ~docv:"N" ~doc:"Requests per client.")
+  in
+  let keys =
+    Arg.(value & opt int 1024 & info [ "keys" ] ~docv:"N" ~doc:"Store keys.")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 2048
+      & info [ "queue-cap" ] ~docv:"UNITS"
+          ~doc:
+            "Admission capacity in cost units; the model sheds an arrival \
+             facing more than queue-cap x quantum nanoseconds of backlog.")
+  in
+  let quantum =
+    Arg.(
+      value & opt int Loadcurve.default_quantum_ns
+      & info [ "quantum" ] ~docv:"NS"
+          ~doc:
+            "Virtual service time per workload cost unit, in nanoseconds \
+             (sets the model server's capacity).")
+  in
+  let rates =
+    rates_arg
+      ~default:
+        [ 5_000.; 10_000.; 20_000.; 40_000.; 80_000.; 160_000.; 320_000. ]
+      ()
+  in
+  let measure =
+    Arg.(
+      value & flag
+      & info [ "measure" ]
+          ~doc:
+            "Also run the real multicore server once per rung with the \
+             same arrival clock and report wall-clock achieved throughput \
+             and open/closed p99 on stderr (informational; the canonical \
+             document is unaffected).")
+  in
+  let format =
+    format_arg
+      ~doc:
+        "Stdout rendering: $(b,table) (human) or $(b,json) (the canonical \
+         byte-deterministic loadcurve document; the table goes to stderr)."
+      ()
+  in
+  let out =
+    out_arg ~doc:"Also write the canonical JSON document here (CI artifact)."
+      ()
+  in
+  let telemetry =
+    telemetry_arg
+      ~doc:
+        "Export the sweep's telemetry here ($(b,-) for stdout): one \
+         deterministic scrape per rung (ts = rung index) with the model's \
+         admitted/shed counters and queueing/service/sojourn hires \
+         histograms."
+      ()
+  in
+  let telemetry_format = telemetry_format_arg () in
+  Cmd.v
+    (Cmd.info "loadcurve"
+       ~doc:
+         "Sweep a rate ladder against the serving path's virtual-time \
+          queueing model: offered vs achieved throughput, shed fraction \
+          and queueing/service/sojourn percentiles (p50..p99.99) per \
+          rung, plus the knee.  The canonical JSON document is \
+          byte-identical across runs and across $(b,--domains) choices; \
+          $(b,--measure) adds real open-loop server runs on stderr.")
+    Term.(
+      const run $ profile_arg () $ algo_arg () $ domains $ seed $ clients
+      $ ops $ keys $ queue_cap $ quantum $ arrival_arg () $ rates $ measure
+      $ format $ out $ telemetry $ telemetry_format)
 
 let () =
   let info =
@@ -1563,7 +1719,7 @@ let () =
           [
             zoo_cmd; figures_cmd; simulate_cmd; game_cmd; matrix_cmd;
             monitor_cmd; sweep_cmd; trace_cmd; chaos_cmd; blame_cmd; top_cmd;
-            serve_cmd;
+            serve_cmd; loadcurve_cmd;
             analyze_cmd; static_cmd; model_check_cmd; explore_cmd;
             crash_windows_cmd; dump_cmd; check_cmd;
           ]))

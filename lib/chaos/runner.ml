@@ -23,12 +23,14 @@ type session = {
   ses_commits : Tel.Instrument.counter array;
   ses_injected : Tel.Instrument.counter array;
   ses_crashed : Tel.Instrument.gauge array;
+  ses_latency : Tel.Latency_recorder.t option;
 }
 
 let session_plan ses = ses.ses_plan
 let session_registry ses = ses.ses_registry
 let session_liveness ses = ses.ses_liveness
 let session_blame ses = ses.ses_blame
+let session_latency ses = ses.ses_latency
 
 let session_crashed ses d =
   Tel.Instrument.gauge_value ses.ses_crashed.(d) = 1
@@ -152,8 +154,24 @@ exception Stop_worker
    deterministically (prior reads in the set are harmless: the
    serializer validates nothing). *)
 let worker ~stop ~shared ~mine ~algo ~fault ~parasite_gate ~ops ~injected
-    ~attempts ~trycs ~commits ~crashed d () =
+    ~attempts ~trycs ~commits ~crashed ~lat d () =
   bind_fault fault ~ops ~injected;
+  (* Open-loop latency: mark before the transaction, complete after.  A
+     body that dies on [Stm.Chaos.Crashed] leaves its mark in place on
+     purpose — the dead domain's in-flight age is the censored sample
+     the recorder's open-loop quantiles keep folding in. *)
+  let mark () =
+    let sched = Tel.Latency_recorder.now_ns () in
+    Option.iter (fun r -> Tel.Latency_recorder.mark r d ~sched) lat;
+    sched
+  in
+  let complete sched =
+    Option.iter
+      (fun r ->
+        Tel.Latency_recorder.complete r d ~start:sched
+          ~finish:(Tel.Latency_recorder.now_ns ()))
+      lat
+  in
   (* Blame identity: plan slot, not raw Domain.self — unconditional
      (one DLS write per worker lifetime, nothing on the hot path). *)
   Stm.Blame.set_self d;
@@ -177,14 +195,17 @@ let worker ~stop ~shared ~mine ~algo ~fault ~parasite_gate ~ops ~injected
   let in_body_takeover = algo = Stm.Algo.Global_lock in
   (try
      while not (Atomic.get stop) do
-       if (not in_body_takeover) && parasitic_now () then
+       if (not in_body_takeover) && parasitic_now () then begin
+         ignore (mark ());
          Stm.atomically (fun () ->
              Tel.Instrument.incr attempts;
              parasite_spin ())
+       end
        else begin
          let r = !st * 48271 mod 0x7FFFFFFF in
          st := r;
          let other = 1 + (r mod (n - 1)) in
+         let sched = mark () in
          Stm.atomically (fun () ->
              (* Re-run on every attempt: a permanently starving domain
                 still gets to observe the stop flag. *)
@@ -196,7 +217,8 @@ let worker ~stop ~shared ~mine ~algo ~fault ~parasite_gate ~ops ~injected
              Stm.write shared.(0) (v0 + 1);
              Stm.write shared.(other) (vo + 1);
              Tel.Instrument.incr trycs);
-         Tel.Instrument.incr commits
+         Tel.Instrument.incr commits;
+         complete sched
        end
      done
    with
@@ -208,7 +230,8 @@ let worker ~stop ~shared ~mine ~algo ~fault ~parasite_gate ~ops ~injected
 let counters_of (s : sample) =
   Emp.counters ~ops:s.ops ~trycs:s.trycs ~commits:s.commits ~aborts:s.aborts
 
-let with_session ?(tvars = 4) ?(blame = false) ?registry (plan : Plan.t) f =
+let with_session ?(tvars = 4) ?(blame = false) ?(latency = false) ?registry
+    (plan : Plan.t) f =
   let nd = plan.Plan.domains in
   let reg =
     match registry with Some r -> r | None -> Tel.Registry.create ()
@@ -253,6 +276,15 @@ let with_session ?(tvars = 4) ?(blame = false) ?registry (plan : Plan.t) f =
   let blame_graph =
     if blame then Some (Tel.Blame_graph.create reg ~domains:nd) else None
   in
+  (* Workers are unthrottled, so the coordinated-omission interval is
+     the transaction time scale, not a wall-clock arrival rate. *)
+  let lat =
+    if latency then
+      Some
+        (Tel.Latency_recorder.create ~registry:reg ~metric:"tm_chaos_lat"
+           ~interval_ns:50_000 ~domains:nd ())
+    else None
+  in
   let ses =
     {
       ses_plan = plan;
@@ -265,6 +297,7 @@ let with_session ?(tvars = 4) ?(blame = false) ?registry (plan : Plan.t) f =
       ses_commits = commits;
       ses_injected = injected;
       ses_crashed = crashed;
+      ses_latency = lat;
     }
   in
   (* Select the plan's core before creating the t-variables (a
@@ -314,7 +347,8 @@ let with_session ?(tvars = 4) ?(blame = false) ?registry (plan : Plan.t) f =
               (worker ~stop ~shared ~mine:priv.(d) ~algo:plan.Plan.algo
                  ~fault:plan.Plan.faults.(d) ~parasite_gate ~ops:ops.(d)
                  ~injected:injected.(d) ~attempts:attempts.(d)
-                 ~trycs:trycs.(d) ~commits:commits.(d) ~crashed:crashed.(d) d))
+                 ~trycs:trycs.(d) ~commits:commits.(d) ~crashed:crashed.(d)
+                 ~lat d))
       in
       let finish () =
         Atomic.set stop true;
@@ -328,18 +362,23 @@ let with_session ?(tvars = 4) ?(blame = false) ?registry (plan : Plan.t) f =
           finish ();
           raise e)
 
-let run ?tvars ?blame ?(warmup = 0.05) ?(window = 0.15) ?registry ?on_sample
-    (plan : Plan.t) =
+let run ?tvars ?blame ?latency ?(warmup = 0.05) ?(window = 0.15) ?registry
+    ?on_sample (plan : Plan.t) =
   let nd = plan.Plan.domains in
   let scrape ses ts =
     match on_sample with
     | Some f ->
         Option.iter Tel.Blame_graph.refresh ses.ses_blame;
+        Option.iter
+          (fun r ->
+            Tel.Latency_recorder.publish r
+              ~now:(Tel.Latency_recorder.now_ns ()))
+          ses.ses_latency;
         f (Tel.Registry.scrape ses.ses_registry ~ts)
     | None -> ()
   in
   let first, last, ses =
-    with_session ?tvars ?blame ?registry plan (fun ses ->
+    with_session ?tvars ?blame ?latency ?registry plan (fun ses ->
         Unix.sleepf warmup;
         let first = samples ses in
         (* Baseline the liveness gauge on the exact watchdog samples so

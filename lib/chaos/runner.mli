@@ -40,6 +40,10 @@ val session_blame : session -> Tm_telemetry.Blame_graph.t option
 (** The blame graph folding [Stm.Blame] events, when the session was
     opened with [~blame:true]. *)
 
+val session_latency : session -> Tm_telemetry.Latency_recorder.t option
+(** The open-loop latency recorder, when the session was opened with
+    [~latency:true]. *)
+
 val sample : session -> int -> sample
 (** Current counter snapshot of one domain. *)
 
@@ -85,6 +89,7 @@ val unbind_fault : unit -> unit
 val with_session :
   ?tvars:int ->
   ?blame:bool ->
+  ?latency:bool ->
   ?registry:Tm_telemetry.Registry.t ->
   Plan.t ->
   (session -> 'a) ->
@@ -105,7 +110,15 @@ val with_session :
     {!Tm_telemetry.Blame_graph} in the session registry and installs
     its sink as the [Stm.Blame] handler for the session's duration, so
     every abort/steal/wait decision is attributed (workers bind their
-    plan slot as blame identity either way). *)
+    plan slot as blame identity either way).
+
+    [latency] (default false) additionally registers a
+    {!Tm_telemetry.Latency_recorder} under [tm_chaos_lat] in the session
+    registry; workers mark each transaction in flight before starting it
+    and complete it after the commit — a worker that dies on
+    [Stm.Chaos.Crashed] leaves its last mark in place, so the dead
+    domain's starvation age and the open-loop (censored) quantiles keep
+    growing while the closed-loop ones freeze. *)
 
 type report = {
   rep_domain : int;
@@ -137,6 +150,7 @@ type outcome = {
 val run :
   ?tvars:int ->
   ?blame:bool ->
+  ?latency:bool ->
   ?warmup:float ->
   ?window:float ->
   ?registry:Tm_telemetry.Registry.t ->

@@ -19,6 +19,8 @@ type config = {
   c_batching : bool;
   c_journal : bool;
   c_queue_cap : int;
+  c_arrival : Arrival.t option;
+      (* open-loop arrival clock; None = closed loop *)
 }
 
 let validate cfg =
@@ -31,7 +33,7 @@ let validate cfg =
 
 let config ?(algo = Stm.Algo.Tl2) ?(clients = 10_000) ?(ops = 4)
     ?(keys = 1024) ?(stripes = 64) ?(batching = true) ?(journal = false)
-    ?(queue_cap = 2048) ~profile ~seed ~domains () =
+    ?(queue_cap = 2048) ?arrival ~profile ~seed ~domains () =
   let cfg =
     {
       c_profile = profile;
@@ -45,6 +47,7 @@ let config ?(algo = Stm.Algo.Tl2) ?(clients = 10_000) ?(ops = 4)
       c_batching = batching;
       c_journal = journal;
       c_queue_cap = queue_cap;
+      c_arrival = arrival;
     }
   in
   validate cfg;
@@ -155,6 +158,8 @@ type outcome = {
   s_aborts : int;
   s_flushes : int;
   s_latency : lat list;
+  s_open : Tel.Latency_recorder.summary option;
+      (* open-loop latency: present iff the run had an arrival clock *)
 }
 
 let counter_plane_sum store =
@@ -200,6 +205,16 @@ let run ?on_sample cfg =
   (* Measured, non-canonical: bare instruments, never scraped. *)
   let lat = List.map (fun k -> (k, Tel.Instrument.histogram ())) Workload.kinds in
   let flushes = Tel.Instrument.counter () in
+  (* The open-loop recorder is registry-free on purpose: its samples are
+     wall-clock measurements, and the canonical scrape must not see
+     them. *)
+  let recorder =
+    Option.map
+      (fun a ->
+        Tel.Latency_recorder.create ~interval_ns:(Arrival.period_ns a)
+          ~domains:nd ())
+      cfg.c_arrival
+  in
   let combs = fc_create ~stripes:(Store.stripes store) ~domains:nd in
   let scrape ts =
     match on_sample with
@@ -208,9 +223,37 @@ let run ?on_sample cfg =
   in
   let commits0, aborts0 = Stm.stats () in
   scrape 0;
-  let t0 = Unix.gettimeofday () in
+  (* Start barrier: the arrival epoch opens when every executor is
+     spawned and ready, so domain-spawn latency (milliseconds) does not
+     masquerade as queueing delay in the open-loop measurements. *)
+  let ready = Atomic.make 0 in
+  let go = Atomic.make 0 in
   let worker d () =
-    iter_requests cfg wl ~domain:d ~f:(fun ~client:_ ~index:_ req ~admitted:adm ->
+    (* Open-loop pacing state: a per-domain arrival cursor walked in
+       global-index order (the schedule is a pure function of the index,
+       so every domain count derives the same arrival times). *)
+    let cur = Option.map Arrival.cursor cfg.c_arrival in
+    let g_prev = ref (-1) in
+    Atomic.incr ready;
+    while Atomic.get go = 0 do
+      Domain.cpu_relax ()
+    done;
+    let t0n = Atomic.get go in
+    iter_requests cfg wl ~domain:d ~f:(fun ~client ~index req ~admitted:adm ->
+        let sched =
+          match cur with
+          | None -> t0n
+          | Some c ->
+              let g = (index * cfg.c_clients) + client in
+              Arrival.skip c (g - !g_prev - 1);
+              g_prev := g;
+              let at = t0n + Arrival.next c in
+              (* dispatch no earlier than the scheduled arrival *)
+              while now_ns () < at do
+                Domain.cpu_relax ()
+              done;
+              at
+        in
         Tel.Instrument.incr requests.(d);
         if not adm then Tel.Instrument.incr shed.(d)
         else begin
@@ -218,6 +261,9 @@ let run ?on_sample cfg =
           Tel.Instrument.incr (List.assoc (Workload.kind req) by_kind);
           if Workload.mutates req then Tel.Instrument.incr mutators.(d);
           let h = List.assoc (Workload.kind req) lat in
+          Option.iter
+            (fun r -> Tel.Latency_recorder.mark r d ~sched)
+            recorder;
           let start = now_ns () in
           (match req with
           | Workload.Single (Store.O_put (k, v)) when cfg.c_batching ->
@@ -236,10 +282,19 @@ let run ?on_sample cfg =
                      if List.exists Store.op_mutates ops then
                        Store.journal_mark store 1;
                      rs)));
-          Tel.Instrument.observe h (now_ns () - start)
+          let finish = now_ns () in
+          Tel.Instrument.observe h (finish - start);
+          Option.iter
+            (fun r -> Tel.Latency_recorder.complete r d ~start ~finish)
+            recorder
         end)
   in
   let ds = List.init nd (fun d -> Domain.spawn (worker d)) in
+  while Atomic.get ready < nd do
+    Domain.cpu_relax ()
+  done;
+  let t0 = Unix.gettimeofday () in
+  Atomic.set go (now_ns ());
   List.iter Domain.join ds;
   let wall = Unix.gettimeofday () -. t0 in
   scrape (total_requests cfg);
@@ -276,6 +331,10 @@ let run ?on_sample cfg =
       List.map
         (fun (k, h) -> { l_kind = k; l_snap = Tel.Instrument.hist_snapshot h })
         lat;
+    s_open =
+      Option.map
+        (fun r -> Tel.Latency_recorder.summary r ~now:(now_ns ()))
+        recorder;
   }
 
 let to_json o =
@@ -283,11 +342,18 @@ let to_json o =
   let b = Buffer.create 512 in
   Buffer.add_string b
     (Fmt.str
-       "{\"subsystem\":\"tmserve\",\"profile\":%S,\"algo\":%S,\"seed\":%d,\"domains\":%d,\"clients\":%d,\"ops_per_client\":%d,\"keys\":%d,\"stripes\":%d,\"batching\":%b,\"journal\":%b,\"queue_cap\":%d,\"requests\":%d,\"admitted\":%d,\"shed\":%d,\"batched_puts\":%d,\"mutators\":%d,\"journal_ok\":%b,\"conserved\":%b,\"by_kind\":{"
+       "{\"subsystem\":\"tmserve\",\"profile\":%S,\"algo\":%S,\"seed\":%d,\"domains\":%d,\"clients\":%d,\"ops_per_client\":%d,\"keys\":%d,\"stripes\":%d,\"batching\":%b,\"journal\":%b,\"queue_cap\":%d,\"arrival\":%s,\"requests\":%d,\"admitted\":%d,\"shed\":%d,\"batched_puts\":%d,\"mutators\":%d,\"journal_ok\":%b,\"conserved\":%b,\"by_kind\":{"
        (Workload.profile_name cfg.c_profile)
        (Stm.Algo.name cfg.c_algo) cfg.c_seed cfg.c_domains cfg.c_clients
        cfg.c_ops cfg.c_keys cfg.c_stripes cfg.c_batching cfg.c_journal
-       cfg.c_queue_cap o.s_requests o.s_admitted o.s_shed o.s_batched
+       cfg.c_queue_cap
+       (match cfg.c_arrival with
+       | None -> "{\"kind\":\"closed\"}"
+       | Some a ->
+           Fmt.str "{\"kind\":%S,\"rate\":%.1f}"
+             (Arrival.kind_name (Arrival.kind a))
+             (Arrival.rate a))
+       o.s_requests o.s_admitted o.s_shed o.s_batched
        o.s_mutators o.s_journal_ok o.s_conserved);
   List.iteri
     (fun i (k, n) ->
@@ -331,6 +397,12 @@ let pp_summary ppf o =
         Fmt.pf ppf "  latency %-4s %a@," l.l_kind Tel.Instrument.pp_hsnap
           l.l_snap)
     o.s_latency;
+  (match (o.s_config.c_arrival, o.s_open) with
+  | Some a, Some y ->
+      Fmt.pf ppf "arrival %s rate %.0f req/s (open loop)@,%a@,"
+        (Arrival.kind_name (Arrival.kind a))
+        (Arrival.rate a) Tel.Latency_recorder.pp_summary y
+  | _ -> ());
   Fmt.pf ppf "journal %s, counter plane %s@]"
     (if o.s_journal_ok then "ok" else "MISMATCH")
     (if o.s_conserved then "conserved" else "VIOLATED")
@@ -348,6 +420,7 @@ type session = {
   k_trycs : Tel.Instrument.counter array;
   k_commits : Tel.Instrument.counter array;
   k_crashed : Tel.Instrument.gauge array;
+  k_latency : Tel.Latency_recorder.t option;
 }
 
 let session_plan s = s.k_plan
@@ -355,6 +428,7 @@ let session_config s = s.k_config
 let session_registry s = s.k_registry
 let session_liveness s = s.k_liveness
 let session_blame s = s.k_blame
+let session_latency s = s.k_latency
 
 let session_sample s d =
   let v a = Tel.Instrument.value a.(d) in
@@ -380,7 +454,7 @@ exception Stop_worker
    {!Tm_chaos.Runner}: a private-read spin under the non-blocking
    cores, an in-body takeover under the global-lock serializer. *)
 let chaos_worker ~stop ~cfg ~wl ~store ~mine ~fault ~parasite_gate ~ops
-    ~injected ~attempts ~trycs ~commits ~crashed d () =
+    ~injected ~attempts ~trycs ~commits ~crashed ~lat d () =
   Runner.bind_fault fault ~ops ~injected;
   Stm.Blame.set_self d;
   let parasitic_from =
@@ -399,18 +473,38 @@ let chaos_worker ~stop ~cfg ~wl ~store ~mine ~fault ~parasite_gate ~ops
     done
   in
   let in_body_takeover = cfg.c_algo = Stm.Algo.Global_lock in
+  (* The chaos path is its own load generator, so "scheduled arrival" is
+     the moment a request starts; the slot deliberately stays marked if
+     the body dies on [Stm.Chaos.Crashed] — a dead domain's in-flight
+     request is exactly the censored sample the open-loop quantiles must
+     keep seeing grow. *)
+  let mark () =
+    let sched = Tel.Latency_recorder.now_ns () in
+    Option.iter (fun r -> Tel.Latency_recorder.mark r d ~sched) lat;
+    sched
+  in
+  let complete sched =
+    Option.iter
+      (fun r ->
+        Tel.Latency_recorder.complete r d ~start:sched
+          ~finish:(Tel.Latency_recorder.now_ns ()))
+      lat
+  in
   let client = ref d and index = ref 0 in
   (try
      while not (Atomic.get stop) do
-       if (not in_body_takeover) && parasitic_now () then
+       if (not in_body_takeover) && parasitic_now () then begin
+         ignore (mark ());
          Stm.atomically (fun () ->
              Tel.Instrument.incr attempts;
              parasite_spin ())
+       end
        else begin
          let req = Workload.request wl ~client:!client ~index:!index in
          let body =
            match req with Workload.Single op -> [ op ] | Workload.Txn l -> l
          in
+         let sched = mark () in
          Stm.atomically (fun () ->
              if Atomic.get stop then raise Stop_worker;
              Tel.Instrument.incr attempts;
@@ -419,6 +513,7 @@ let chaos_worker ~stop ~cfg ~wl ~store ~mine ~fault ~parasite_gate ~ops
              Store.journal_mark store 1;
              Tel.Instrument.incr trycs);
          Tel.Instrument.incr commits;
+         complete sched;
          client := !client + cfg.c_domains;
          if !client >= cfg.c_clients then begin
            client := d;
@@ -432,7 +527,8 @@ let chaos_worker ~stop ~cfg ~wl ~store ~mine ~fault ~parasite_gate ~ops
   Stm.Blame.set_self (-1);
   Runner.unbind_fault ()
 
-let with_chaos_session ?(blame = false) ?registry (plan : Plan.t) cfg f =
+let with_chaos_session ?(blame = false) ?(latency = false) ?registry
+    (plan : Plan.t) cfg f =
   let cfg =
     {
       cfg with
@@ -486,6 +582,16 @@ let with_chaos_session ?(blame = false) ?registry (plan : Plan.t) cfg f =
   let blame_graph =
     if blame then Some (Tel.Blame_graph.create reg ~domains:nd) else None
   in
+  (* The chaos executor is an unthrottled generator, so the expected
+     inter-arrival for the coordinated-omission correction is the
+     request service time scale (~50us), not a wall-clock rate. *)
+  let lat =
+    if latency then
+      Some
+        (Tel.Latency_recorder.create ~registry:reg ~metric:"tm_serve_lat"
+           ~interval_ns:50_000 ~domains:nd ())
+    else None
+  in
   let ses =
     {
       k_plan = plan;
@@ -498,6 +604,7 @@ let with_chaos_session ?(blame = false) ?registry (plan : Plan.t) cfg f =
       k_trycs = trycs;
       k_commits = commits;
       k_crashed = crashed;
+      k_latency = lat;
     }
   in
   let prev_algo = Stm.algo () in
@@ -537,7 +644,8 @@ let with_chaos_session ?(blame = false) ?registry (plan : Plan.t) cfg f =
               (chaos_worker ~stop ~cfg ~wl ~store ~mine:priv.(d)
                  ~fault:plan.Plan.faults.(d) ~parasite_gate ~ops:ops.(d)
                  ~injected:injected.(d) ~attempts:attempts.(d)
-                 ~trycs:trycs.(d) ~commits:commits.(d) ~crashed:crashed.(d) d))
+                 ~trycs:trycs.(d) ~commits:commits.(d) ~crashed:crashed.(d)
+                 ~lat d))
       in
       let finish () =
         Atomic.set stop true;
@@ -562,18 +670,23 @@ let counters_of (s : Runner.sample) =
   Emp.counters ~ops:s.Runner.ops ~trycs:s.Runner.trycs
     ~commits:s.Runner.commits ~aborts:s.Runner.aborts
 
-let chaos_run ?blame ?(warmup = 0.05) ?(window = 0.15) ?registry ?on_sample
-    (plan : Plan.t) cfg =
+let chaos_run ?blame ?latency ?(warmup = 0.05) ?(window = 0.15) ?registry
+    ?on_sample (plan : Plan.t) cfg =
   let nd = plan.Plan.domains in
   let scrape ses ts =
     match on_sample with
     | Some f ->
         Option.iter Tel.Blame_graph.refresh ses.k_blame;
+        Option.iter
+          (fun r ->
+            Tel.Latency_recorder.publish r
+              ~now:(Tel.Latency_recorder.now_ns ()))
+          ses.k_latency;
         f (Tel.Registry.scrape ses.k_registry ~ts)
     | None -> ()
   in
   let first, last, ses =
-    with_chaos_session ?blame ?registry plan cfg (fun ses ->
+    with_chaos_session ?blame ?latency ?registry plan cfg (fun ses ->
         Unix.sleepf warmup;
         let first = session_samples ses in
         Tel.Liveness_gauge.rebase_with ses.k_liveness

@@ -50,6 +50,9 @@ type config = {
   c_batching : bool;
   c_journal : bool;
   c_queue_cap : int;  (** admission capacity in cost units *)
+  c_arrival : Arrival.t option;
+      (** open-loop arrival clock; [None] = closed loop (dispatch as
+          fast as the executors run) *)
 }
 
 val config :
@@ -61,13 +64,14 @@ val config :
   ?batching:bool ->
   ?journal:bool ->
   ?queue_cap:int ->
+  ?arrival:Arrival.t ->
   profile:Workload.profile ->
   seed:int ->
   domains:int ->
   unit ->
   config
 (** Defaults: tl2, 10000 clients, 4 ops/client, 1024 keys, 64 stripes,
-    batching on, journal off, queue_cap 2048.
+    batching on, journal off, queue_cap 2048, closed loop.
     @raise Invalid_argument on [domains < 1], [clients < domains],
     [ops < 1], [keys < 4] or [queue_cap < 1]. *)
 
@@ -116,11 +120,22 @@ type outcome = {
   s_aborts : int;
   s_flushes : int;  (** combiner flush transactions *)
   s_latency : lat list;  (** per kind, {!Workload.kinds} order *)
+  s_open : Tm_telemetry.Latency_recorder.summary option;
+      (** open-loop latency (queueing/service/sojourn from the scheduled
+          arrival, censored p99): present iff [c_arrival] was set;
+          measured, never canonical *)
 }
 
 val run :
   ?on_sample:(Tm_telemetry.Registry.snapshot -> unit) -> config -> outcome
-(** Execute the whole population and join.  [on_sample] receives the
+(** Execute the whole population and join.  With [c_arrival] set, each
+    executor paces dispatch so no request starts before its scheduled
+    arrival on the shared virtual schedule, and an open-loop
+    {!Tm_telemetry.Latency_recorder} (registry-free — its samples are
+    wall-clock measurements) fills [s_open]; the admission model and
+    every canonical count are unchanged, so the canonical artifacts of
+    an open-loop run differ from the closed-loop run's only in the
+    arrival metadata they echo.  [on_sample] receives the
     canonical telemetry scrape twice, {e keyed on the op clock}: once
     at [ts = 0] before the executors start and once at
     [ts = total_requests config] after they join.  The scraped registry
@@ -157,11 +172,16 @@ val session_config : session -> config
 val session_registry : session -> Tm_telemetry.Registry.t
 val session_liveness : session -> Tm_telemetry.Liveness_gauge.t
 val session_blame : session -> Tm_telemetry.Blame_graph.t option
+
+val session_latency : session -> Tm_telemetry.Latency_recorder.t option
+(** The session's open-loop latency recorder (with [~latency:true]). *)
+
 val session_sample : session -> int -> Tm_chaos.Runner.sample
 val session_samples : session -> Tm_chaos.Runner.sample array
 
 val with_chaos_session :
   ?blame:bool ->
+  ?latency:bool ->
   ?registry:Tm_telemetry.Registry.t ->
   Tm_chaos.Plan.t ->
   config ->
@@ -175,7 +195,13 @@ val with_chaos_session :
     rotation indefinitely; per-domain counters register as
     [tm_serve_{ops,attempts,trycs,commits,injected}_total] and a
     [tm_serve_crashed] gauge, plus the standard liveness gauge (and a
-    blame graph with [~blame:true]). *)
+    blame graph with [~blame:true]).  With [~latency:true] a
+    {!Tm_telemetry.Latency_recorder} registers under [tm_serve_lat] in
+    the session registry; executors mark each request in flight before
+    its transaction and complete it after — a request whose body dies
+    on [Stm.Chaos.Crashed] stays marked forever, so the open-loop p99
+    and the per-domain starvation age keep growing while the crashed
+    domain's closed-loop quantiles freeze. *)
 
 type chaos_outcome = {
   k_plan : Tm_chaos.Plan.t;
@@ -186,6 +212,7 @@ type chaos_outcome = {
 
 val chaos_run :
   ?blame:bool ->
+  ?latency:bool ->
   ?warmup:float ->
   ?window:float ->
   ?registry:Tm_telemetry.Registry.t ->

@@ -38,6 +38,42 @@ let kind_label = function
 let state_labels labels st =
   List.map (fun (k, v) -> if v = "" then (k, st) else (k, v)) labels
 
+(* Cumulative [_bucket{le="..."}] lines plus [_sum]/[_count], shared by
+   the log2 and hires histograms — only the bucket count and the
+   upper-bound rule differ.  Empty hires buckets are skipped (their
+   cumulative value equals the previous line's), keeping a 305-bucket
+   exposition proportional to the populated decades; the log2 variant
+   emits every bucket, as it always has.  Both stay within the strict
+   parser's subset, so the round-trip and lax parsers need no change. *)
+let add_hist_sample b ~name ~labels ~nbuckets ~upper ~skip_empty
+    (h : Instrument.hsnap) =
+  let cum = ref 0 in
+  for k = 0 to nbuckets - 1 do
+    let c = h.Instrument.buckets.(k) in
+    cum := !cum + c;
+    if (not skip_empty) || c > 0 || k = nbuckets - 1 then begin
+      let le =
+        if k = nbuckets - 1 then "+Inf" else string_of_int (upper k)
+      in
+      Buffer.add_string b name;
+      Buffer.add_string b "_bucket";
+      add_labels b (labels @ [ ("le", le) ]);
+      Buffer.add_string b (Fmt.str " %d\n" !cum)
+    end
+  done;
+  Buffer.add_string b
+    (Fmt.str "%s_sum%s %d\n" name
+       (let lb = Buffer.create 16 in
+        add_labels lb labels;
+        Buffer.contents lb)
+       h.Instrument.sum);
+  Buffer.add_string b
+    (Fmt.str "%s_count%s %d\n" name
+       (let lb = Buffer.create 16 in
+        add_labels lb labels;
+        Buffer.contents lb)
+       h.Instrument.count)
+
 let add_sample b (s : Registry.sample) =
   match s.Registry.s_value with
   | Registry.Num v ->
@@ -52,30 +88,13 @@ let add_sample b (s : Registry.sample) =
           Buffer.add_string b (if i = current then " 1\n" else " 0\n"))
         states
   | Registry.Hist h ->
-      let cum = ref 0 in
-      for k = 0 to Instrument.hist_buckets - 1 do
-        cum := !cum + h.Instrument.buckets.(k);
-        let le =
-          if k = Instrument.hist_buckets - 1 then "+Inf"
-          else string_of_int (Instrument.bucket_upper k)
-        in
-        Buffer.add_string b s.Registry.s_name;
-        Buffer.add_string b "_bucket";
-        add_labels b (s.Registry.s_labels @ [ ("le", le) ]);
-        Buffer.add_string b (Fmt.str " %d\n" !cum)
-      done;
-      Buffer.add_string b
-        (Fmt.str "%s_sum%s %d\n" s.Registry.s_name
-           (let lb = Buffer.create 16 in
-            add_labels lb s.Registry.s_labels;
-            Buffer.contents lb)
-           h.Instrument.sum);
-      Buffer.add_string b
-        (Fmt.str "%s_count%s %d\n" s.Registry.s_name
-           (let lb = Buffer.create 16 in
-            add_labels lb s.Registry.s_labels;
-            Buffer.contents lb)
-           h.Instrument.count)
+      add_hist_sample b ~name:s.Registry.s_name ~labels:s.Registry.s_labels
+        ~nbuckets:Instrument.hist_buckets ~upper:Instrument.bucket_upper
+        ~skip_empty:false h
+  | Registry.Hires h ->
+      add_hist_sample b ~name:s.Registry.s_name ~labels:s.Registry.s_labels
+        ~nbuckets:Instrument.hires_buckets
+        ~upper:Instrument.hires_bucket_upper ~skip_empty:true h
 
 let to_openmetrics (snap : Registry.snapshot) =
   let b = Buffer.create 4096 in
@@ -236,16 +255,33 @@ let to_jsonl (snap : Registry.snapshot) =
             (List.filter (fun (_, v) -> v <> "") s.Registry.s_labels);
           Buffer.add_string b ",\"state\":";
           add_json_string b states.(current)
-      | Registry.Hist h ->
+      | Registry.Hist h | Registry.Hires h ->
+          (* Hires buckets are sparse (305 slots); encode them as
+             [index, count] pairs so a quiet scrape line stays short.
+             The log2 variant keeps the dense array it always had. *)
           add_json_labels b s.Registry.s_labels;
           Buffer.add_string b
-            (Fmt.str ",\"hist\":{\"count\":%d,\"sum\":%d,\"max\":%d,\"buckets\":["
+            (Fmt.str ",\"hist\":{\"count\":%d,\"sum\":%d,\"max\":%d,"
                h.Instrument.count h.Instrument.sum h.Instrument.max_sample);
-          Array.iteri
-            (fun k c ->
-              if k > 0 then Buffer.add_char b ',';
-              Buffer.add_string b (string_of_int c))
-            h.Instrument.buckets;
+          (match s.Registry.s_value with
+          | Registry.Hires _ ->
+              Buffer.add_string b "\"sparse\":[";
+              let first = ref true in
+              Array.iteri
+                (fun k c ->
+                  if c > 0 then begin
+                    if not !first then Buffer.add_char b ',';
+                    first := false;
+                    Buffer.add_string b (Fmt.str "[%d,%d]" k c)
+                  end)
+                h.Instrument.buckets
+          | _ ->
+              Buffer.add_string b "\"buckets\":[";
+              Array.iteri
+                (fun k c ->
+                  if k > 0 then Buffer.add_char b ',';
+                  Buffer.add_string b (string_of_int c))
+                h.Instrument.buckets);
           Buffer.add_string b "]}");
       Buffer.add_char b '}')
     snap.Registry.samples;

@@ -11,7 +11,11 @@ val to_openmetrics : Registry.snapshot -> string
     counters/gauges as single lines, statesets as one 0/1 line per
     state, histograms as cumulative [_bucket{le="..."}] lines (bucket
     upper bounds, then [+Inf]) plus [_sum]/[_count]; terminated by
-    [# EOF]. *)
+    [# EOF].  Hires histograms ({!Registry.Hires}) emit the same
+    cumulative [_bucket] shape under the hires bounds, skipping empty
+    buckets (the cumulative series is unchanged by the omission), so
+    both flavours round-trip through {!parse_openmetrics} and
+    {!parse_openmetrics_lax} identically. *)
 
 type series = {
   se_name : string;
@@ -38,4 +42,6 @@ val to_jsonl : Registry.snapshot -> string
     [{"ts":N,"samples":[{"name":...,"labels":{...},"value":N}
     | {...,"state":"starving"}
     | {...,"hist":{"count":..,"sum":..,"max":..,"buckets":[...]}}]}].
-    Under the step clock equal runs produce byte-equal lines. *)
+    Hires histograms encode their (sparse, 305-slot) buckets as
+    ["sparse":[[index,count],...]] pairs instead of a dense ["buckets"]
+    array.  Under the step clock equal runs produce byte-equal lines. *)

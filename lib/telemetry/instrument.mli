@@ -63,9 +63,10 @@ val absorb :
   histogram -> buckets:int array -> sum:int -> max_sample:int -> unit
 (** Add a pre-bucketed histogram (same log2 bucket rule, possibly fewer
     buckets — e.g. a {!Tm_sim.Metrics.histogram}) into this one.  The
-    source's overflow bucket is folded into the bucket of the same
-    index, which under-reads only values that overflowed the (shorter)
-    source histogram. *)
+    source's last bucket is an overflow bucket: its samples are only
+    known to exceed the source's range, so they are preserved into this
+    histogram's own overflow bucket (never folded into the same-index
+    range bucket, which would under-read them). *)
 
 type hsnap = {
   buckets : int array;  (** [hist_buckets] summed bucket counts *)
@@ -88,3 +89,48 @@ val hsnap_mean : hsnap -> float
 val pp_hsnap : Format.formatter -> hsnap -> unit
 (** One line: p50/p90/p99/max, count and mean; ["(empty)"] when the
     snapshot holds no samples. *)
+
+(** {2 High-resolution histograms}
+
+    Log2 buckets bound the relative error of a reported quantile by a
+    factor of 2 — too coarse for the p99.9/p99.99 tail quantiles the
+    open-loop latency recorder gates on.  A hires histogram splits
+    every log2 decade into {!hires_sub} linear sub-buckets (relative
+    error at most [1/hires_sub] = 12.5%): values below {!hires_sub}
+    are exact, values at or above [2^hires_log_max] (~18 minutes in
+    nanoseconds) overflow.  Same wait-free sharded write path as the
+    log2 histograms. *)
+
+val hires_sub : int
+(** 8 linear sub-buckets per log2 decade. *)
+
+val hires_log_max : int
+(** 40: the first overflowing power of two. *)
+
+val hires_buckets : int
+(** 305. *)
+
+val hires_bucket_of : int -> int
+(** The hires bucket index a value lands in. *)
+
+val hires_bucket_upper : int -> int
+(** Inclusive upper bound of a hires bucket: 0 for bucket 0, [max_int]
+    for the overflow bucket; monotone in the index. *)
+
+type hires
+
+val hires : ?shards:int -> unit -> hires
+val hires_observe : hires -> int -> unit
+
+val hires_snapshot : hires -> hsnap
+(** Same snapshot record as the log2 histograms, with
+    [Array.length buckets = hires_buckets]; use {!hires_quantile}
+    (never {!quantile}) on it. *)
+
+val hires_quantile : hsnap -> float -> int
+(** Like {!quantile} under the hires bucket bounds: the inclusive upper
+    bound of the bucket holding the rank-[ceil (q * count)] sample,
+    clamped to [max_sample]. *)
+
+val pp_hires_snap : Format.formatter -> hsnap -> unit
+(** One line: p50/p90/p99/p99.9/p99.99/max, count and mean. *)

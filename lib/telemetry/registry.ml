@@ -24,6 +24,7 @@ type instrument =
   | I_counter of Instrument.counter
   | I_gauge of Instrument.gauge
   | I_histogram of Instrument.histogram
+  | I_hires of Instrument.hires
   | I_state of state
 
 type metric = {
@@ -61,6 +62,11 @@ let histogram t ?shards ?(labels = []) ~help name =
   register t ~name ~help ~labels (I_histogram h);
   h
 
+let hires t ?shards ?(labels = []) ~help name =
+  let h = Instrument.hires ?shards () in
+  register t ~name ~help ~labels (I_hires h);
+  h
+
 let state t ?(labels = []) ?init ~key ~states ~help name =
   if Array.length states = 0 then invalid_arg "Registry.state: no states";
   let st = { st_states = states; st_current = Atomic.make 0 } in
@@ -78,6 +84,7 @@ let state t ?(labels = []) ?init ~key ~states ~help name =
 type value =
   | Num of int
   | Hist of Instrument.hsnap
+  | Hires of Instrument.hsnap
   | State_of of { states : string array; current : int }
 
 type kind = Counter | Gauge | Histogram | State
@@ -98,6 +105,7 @@ let sample_of_metric m =
     | I_counter c -> (Counter, Num (Instrument.value c))
     | I_gauge g -> (Gauge, Num (Instrument.gauge_value g))
     | I_histogram h -> (Histogram, Hist (Instrument.hist_snapshot h))
+    | I_hires h -> (Histogram, Hires (Instrument.hires_snapshot h))
     | I_state st ->
         ( State,
           State_of { states = st.st_states; current = Atomic.get st.st_current }
@@ -138,7 +146,7 @@ let find snap ~name ~labels =
                    (fun (k', v') -> k' = k || List.mem (k', v') s.s_labels)
                    labels
           | None -> s.s_labels = labels)
-      | Num _ | Hist _ -> s.s_labels = labels)
+      | Num _ | Hist _ | Hires _ -> s.s_labels = labels)
     snap.samples
 
 let sample_num snap ~name ~labels =
@@ -148,7 +156,7 @@ let sample_num snap ~name ~labels =
 
 let sample_hist snap ~name ~labels =
   match find snap ~name ~labels with
-  | Some { s_value = Hist h; _ } -> Some h
+  | Some { s_value = Hist h; _ } | Some { s_value = Hires h; _ } -> Some h
   | Some _ | None -> None
 
 let sample_state snap ~name ~labels =

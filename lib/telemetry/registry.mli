@@ -38,6 +38,17 @@ val histogram :
   string ->
   Instrument.histogram
 
+val hires :
+  t ->
+  ?shards:int ->
+  ?labels:(string * string) list ->
+  help:string ->
+  string ->
+  Instrument.hires
+(** A high-resolution histogram ({!Instrument.hires}): scraped as
+    {!Hires}, exported with the hires bucket bounds, kind
+    {!Histogram}. *)
+
 type state
 (** A stateset gauge: exactly one of a fixed set of labelled states is
     current; the exporter renders one 0/1 sample per state, the state
@@ -66,6 +77,7 @@ val state_current : state -> string
 type value =
   | Num of int
   | Hist of Instrument.hsnap
+  | Hires of Instrument.hsnap  (** hires bucket bounds *)
   | State_of of { states : string array; current : int }
 
 type kind = Counter | Gauge | Histogram | State
@@ -100,6 +112,8 @@ val sample_hist :
   name:string ->
   labels:(string * string) list ->
   Instrument.hsnap option
+(** Matches both {!Hist} and {!Hires} samples; for a hires sample the
+    returned snapshot must be read with {!Instrument.hires_quantile}. *)
 
 val sample_state :
   snapshot -> name:string -> labels:(string * string) list -> string option

@@ -328,6 +328,147 @@ let test_server_telemetry_op_clock () =
     ts
 
 (* ------------------------------------------------------------------ *)
+(* Arrival schedules and the load curve. *)
+
+module Arrival = Tm_serve.Arrival
+module Loadcurve = Tm_serve.Loadcurve
+
+let prop_arrival_deterministic =
+  QCheck.Test.make ~count:100
+    ~name:"arrival schedule is a pure function of (kind, rate, seed)"
+    QCheck.(triple bool (int_range 1 1_000) small_int)
+    (fun (poisson, rate_k, seed) ->
+      let kind = if poisson then Arrival.Poisson else Arrival.Constant in
+      let rate = float_of_int (rate_k * 100) in
+      let sched () =
+        Arrival.schedule (Arrival.make ~kind ~rate ~seed) ~n:64
+      in
+      let s = sched () in
+      s = sched ()
+      && s.(0) >= 0
+      && Array.for_all (fun t -> t >= 0) s
+      &&
+      let ok = ref true in
+      for i = 1 to 63 do
+        if s.(i) < s.(i - 1) then ok := false
+      done;
+      !ok)
+
+let test_arrival_constant () =
+  let a = Arrival.make ~kind:Arrival.Constant ~rate:1_000_000. ~seed:0 in
+  Alcotest.(check int) "period" 1_000 (Arrival.period_ns a);
+  Alcotest.(check (array int)) "metronome"
+    [| 0; 1_000; 2_000; 3_000 |]
+    (Arrival.schedule a ~n:4);
+  Alcotest.check_raises "rate must be positive"
+    (Invalid_argument "Arrival.make: rate must be positive") (fun () ->
+      ignore (Arrival.make ~kind:Arrival.Constant ~rate:0. ~seed:0))
+
+let test_arrival_cursor_stride () =
+  (* A domain serving every 4th global index skips to it and reads the
+     same arrival time the flat schedule assigns — the striding
+     contract the open-loop server relies on. *)
+  let a = Arrival.make ~kind:Arrival.Poisson ~rate:50_000. ~seed:7 in
+  let sched = Arrival.schedule a ~n:100 in
+  for d = 0 to 3 do
+    let c = Arrival.cursor a in
+    let prev = ref (-1) in
+    for i = 0 to 24 do
+      let g = (i * 4) + d in
+      Arrival.skip c (g - !prev - 1);
+      prev := g;
+      Alcotest.(check int)
+        (Fmt.str "domain %d arrival %d" d g)
+        sched.(g) (Arrival.next c)
+    done
+  done
+
+let lc_cfg domains =
+  Server.config ~clients:500 ~ops:2 ~keys:64 ~profile:Workload.Mixed
+    ~seed:42 ~domains ()
+
+let test_loadcurve_deterministic () =
+  let ladder = [ 10_000.; 50_000.; 200_000.; 1_000_000. ] in
+  let run domains =
+    Loadcurve.to_json
+      (Loadcurve.run ~kind:Arrival.Poisson ~ladder (lc_cfg domains))
+  in
+  let j1 = run 1 in
+  Alcotest.(check string) "two runs, byte-identical" j1 (run 1);
+  Alcotest.(check string) "domains 1 vs 4, byte-identical" j1 (run 4)
+
+let test_loadcurve_counts_and_knee () =
+  let ladder = [ 10_000.; 100_000.; 1_000_000.; 10_000_000. ] in
+  let curve = Loadcurve.run ~kind:Arrival.Constant ~ladder (lc_cfg 1) in
+  let offered = 500 * 2 in
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "offered = clients * ops" offered
+        p.Loadcurve.p_offered;
+      Alcotest.(check int) "admitted + shed = offered" offered
+        (p.Loadcurve.p_admitted + p.Loadcurve.p_shed))
+    curve.Loadcurve.v_points;
+  let sheds = List.map (fun p -> p.Loadcurve.p_shed) curve.Loadcurve.v_points in
+  Alcotest.(check int) "no shedding far below capacity" 0 (List.hd sheds);
+  Alcotest.(check bool) "overload sheds" true
+    (List.nth sheds 3 > 0);
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "shed is monotone in offered rate" true
+    (nondecreasing sheds);
+  let k = Loadcurve.knee (Loadcurve.curve_xy curve) in
+  Alcotest.(check bool) "knee lies inside the swept ladder" true
+    (List.mem k ladder);
+  Alcotest.check_raises "empty ladder rejected"
+    (Invalid_argument "Loadcurve.run: empty ladder") (fun () ->
+      ignore (Loadcurve.run ~kind:Arrival.Constant ~ladder:[] (lc_cfg 1)))
+
+let test_server_open_loop_invariance () =
+  (* The arrival clock paces dispatch but never the canonical outcome:
+     admissions match the closed-loop run exactly and the document
+     differs only in its arrival echo. *)
+  let cfg = small_cfg ~domains:2 () in
+  let closed = Server.run cfg in
+  let arrival =
+    Arrival.make ~kind:Arrival.Poisson ~rate:2_000_000. ~seed:42
+  in
+  let ocfg = { cfg with Server.c_arrival = Some arrival } in
+  let opened = Server.run ocfg in
+  Alcotest.(check int) "admitted unchanged" closed.Server.s_admitted
+    opened.Server.s_admitted;
+  Alcotest.(check int) "shed unchanged" closed.Server.s_shed
+    opened.Server.s_shed;
+  Alcotest.(check bool) "by-kind unchanged" true
+    (closed.Server.s_by_kind = opened.Server.s_by_kind);
+  Alcotest.(check string) "open-loop canonical json byte-deterministic"
+    (Server.to_json opened)
+    (Server.to_json (Server.run ocfg));
+  Alcotest.(check bool) "closed run carries no recorder summary" true
+    (closed.Server.s_open = None);
+  Alcotest.(check bool) "open run carries one" true
+    (opened.Server.s_open <> None);
+  (* The two documents differ only in the arrival echo. *)
+  let replace_once ~sub ~by s =
+    let n = String.length s and m = String.length sub in
+    let rec find i =
+      if i + m > n then None
+      else if String.sub s i m = sub then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> s
+    | Some i -> String.sub s 0 i ^ by ^ String.sub s (i + m) (n - i - m)
+  in
+  Alcotest.(check string) "documents agree outside the arrival field"
+    (Server.to_json closed)
+    (replace_once
+       ~sub:{|"arrival":{"kind":"poisson","rate":2000000.0}|}
+       ~by:{|"arrival":{"kind":"closed"}|}
+       (Server.to_json opened))
+
+(* ------------------------------------------------------------------ *)
 (* Chaos against the serving path. *)
 
 let chaos_cfg algo =
@@ -403,6 +544,23 @@ let () =
             test_server_spec_conformance;
           Alcotest.test_case "telemetry rides the op clock" `Quick
             test_server_telemetry_op_clock;
+        ] );
+      ( "arrival",
+        [
+          QCheck_alcotest.to_alcotest prop_arrival_deterministic;
+          Alcotest.test_case "constant kind is a metronome" `Quick
+            test_arrival_constant;
+          Alcotest.test_case "cursor striding matches the schedule" `Quick
+            test_arrival_cursor_stride;
+        ] );
+      ( "loadcurve",
+        [
+          Alcotest.test_case "canonical json ignores domains" `Quick
+            test_loadcurve_deterministic;
+          Alcotest.test_case "counts, shedding and the knee" `Quick
+            test_loadcurve_counts_and_knee;
+          Alcotest.test_case "open loop leaves the canon unchanged" `Quick
+            test_server_open_loop_invariance;
         ] );
       ( "chaos-serve",
         [

@@ -106,6 +106,159 @@ let test_absorb () =
   Alcotest.(check int) "sum" 9106 s.I.sum;
   Alcotest.(check int) "max" 9000 s.I.max_sample
 
+let test_absorb_overflow () =
+  (* Regression: a sample in the source's overflow bucket is only known
+     to be >= 2^(nbuckets - 2); folding it into the same-index
+     destination bucket would under-read it by orders of magnitude.  It
+     must land in the destination's own overflow bucket. *)
+  let src =
+    List.fold_left Tm_sim.Metrics.hist_add Tm_sim.Metrics.hist_empty
+      [ 20_000; 3 ]
+  in
+  Alcotest.(check int) "sample sits in the source overflow bucket" 1
+    src.Tm_sim.Metrics.buckets.(Tm_sim.Metrics.nbuckets - 1);
+  let h = I.histogram ~shards:1 () in
+  I.absorb h ~buckets:src.Tm_sim.Metrics.buckets ~sum:src.Tm_sim.Metrics.sum
+    ~max_sample:src.Tm_sim.Metrics.max_sample;
+  let s = I.hist_snapshot h in
+  Alcotest.(check int) "overflow sample lands in our overflow bucket" 1
+    s.I.buckets.(I.hist_buckets - 1);
+  Alcotest.(check int) "not in the same-index range bucket" 0
+    s.I.buckets.(Tm_sim.Metrics.nbuckets - 1);
+  Alcotest.(check bool) "tail quantile reads the overflow sample" true
+    (I.quantile s 0.99 >= 20_000)
+
+(* ------------------------------------------------------------------ *)
+(* Hires histograms. *)
+
+let test_hires_bucket_edges () =
+  Alcotest.(check int) "0 in bucket 0" 0 (I.hires_bucket_of 0);
+  Alcotest.(check int) "negatives in bucket 0" 0 (I.hires_bucket_of (-3));
+  Alcotest.(check int) "small values are exact" (I.hires_sub - 1)
+    (I.hires_bucket_of (I.hires_sub - 1));
+  Alcotest.(check int) "upper of an exact bucket is itself"
+    (I.hires_sub - 1)
+    (I.hires_bucket_upper (I.hires_sub - 1));
+  Alcotest.(check int) "max_int lands in the overflow bucket"
+    (I.hires_buckets - 1)
+    (I.hires_bucket_of max_int);
+  Alcotest.(check int) "overflow bucket is unbounded" max_int
+    (I.hires_bucket_upper (I.hires_buckets - 1))
+
+let prop_hires_buckets =
+  QCheck.Test.make ~count:500
+    ~name:"hires buckets: within bounds, disjoint, 12.5%-wide"
+    QCheck.(int_bound 2_000_000_000)
+    (fun v ->
+      let k = I.hires_bucket_of v in
+      0 <= k
+      && k < I.hires_buckets
+      && v <= I.hires_bucket_upper k
+      && (k = 0 || v > I.hires_bucket_upper (k - 1))
+      (* Sub-bucketing bounds the relative error by 1/hires_sub. *)
+      && (v < I.hires_sub
+         || I.hires_sub * (I.hires_bucket_upper k - v) <= v))
+
+let prop_hires_quantiles =
+  QCheck.Test.make ~count:300
+    ~name:"hires quantiles: ordered, bounded by max, count conserved"
+    QCheck.(list_of_size Gen.(1 -- 200) (int_bound 2_000_000))
+    (fun samples ->
+      let h = I.hires ~shards:1 () in
+      List.iter (I.hires_observe h) samples;
+      let s = I.hires_snapshot h in
+      let q p = I.hires_quantile s p in
+      s.I.count = List.length samples
+      && s.I.sum = List.fold_left ( + ) 0 samples
+      && s.I.max_sample = List.fold_left max 0 samples
+      && Array.length s.I.buckets = I.hires_buckets
+      && Array.fold_left ( + ) 0 s.I.buckets = s.I.count
+      && 0 <= q 0.5
+      && q 0.5 <= q 0.9
+      && q 0.9 <= q 0.999
+      && q 0.999 <= q 0.9999
+      && q 0.9999 <= s.I.max_sample)
+
+let prop_merge_quantile_monotone =
+  QCheck.Test.make ~count:200
+    ~name:"merged-histogram quantiles lie between the parts'"
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 100) (int_bound 2_000_000))
+        (list_of_size Gen.(1 -- 100) (int_bound 2_000_000)))
+    (fun (xs, ys) ->
+      let hist samples =
+        let h = I.histogram ~shards:1 () in
+        List.iter (I.observe h) samples;
+        I.hist_snapshot h
+      in
+      let a = hist xs and b = hist ys and m = hist (xs @ ys) in
+      List.for_all
+        (fun p ->
+          let qa = I.quantile a p and qb = I.quantile b p in
+          let qm = I.quantile m p in
+          (* Values are capped by each histogram's own max, so the
+             upper bound is exact only at bucket granularity: merging
+             never moves a quantile outside the parts' buckets, and
+             never below the parts' smaller value. *)
+          min qa qb <= qm
+          && min (I.bucket_of qa) (I.bucket_of qb) <= I.bucket_of qm
+          && I.bucket_of qm <= max (I.bucket_of qa) (I.bucket_of qb))
+        [ 0.5; 0.9; 0.99; 0.999 ])
+
+(* ------------------------------------------------------------------ *)
+(* The latency recorder. *)
+
+module Lr = Tm_telemetry.Latency_recorder
+
+let test_latency_recorder_split () =
+  let r = Lr.create ~domains:2 ~interval_ns:100 () in
+  Lr.mark r 0 ~sched:1_000;
+  Lr.complete r 0 ~start:1_500 ~finish:2_500;
+  Alcotest.(check int) "queueing = start - sched" 500
+    (Lr.queueing_snapshot r).I.sum;
+  Alcotest.(check int) "service = finish - start" 1_000
+    (Lr.service_snapshot r).I.sum;
+  Alcotest.(check int) "sojourn = finish - sched" 1_500
+    (Lr.sojourn_snapshot r).I.sum;
+  (* An unmarked completion degrades to service time. *)
+  Lr.complete r 1 ~start:10_000 ~finish:10_100;
+  Alcotest.(check int) "unmarked sojourn = service" 1_600
+    (Lr.sojourn_snapshot r).I.sum;
+  Alcotest.(check (array int)) "both slots idle" [| 0; 0 |]
+    (Lr.ages r ~now:50_000)
+
+let test_latency_recorder_open_vs_closed () =
+  let r = Lr.create ~domains:2 ~interval_ns:100 () in
+  (* Domain 0 completes briskly; domain 1 marks and never completes —
+     a request stuck behind a crashed lock holder. *)
+  for i = 0 to 9 do
+    let sched = i * 1_000 in
+    Lr.mark r 0 ~sched;
+    Lr.complete r 0 ~start:(sched + 100) ~finish:(sched + 200)
+  done;
+  Lr.mark r 1 ~sched:0;
+  let closed = Lr.closed_quantile r 0.99 in
+  Alcotest.(check bool) "closed p99 reads completions only" true
+    (closed < 1_000);
+  let o1 = Lr.open_quantile r ~now:50_000 0.99 in
+  let o2 = Lr.open_quantile r ~now:500_000 0.99 in
+  Alcotest.(check bool) "open p99 sees the stall" true (o1 > closed);
+  Alcotest.(check bool) "open p99 grows with the stall" true (o2 > o1);
+  Alcotest.(check int) "closed p99 stays flat" closed
+    (Lr.closed_quantile r 0.99);
+  Alcotest.(check int) "starvation age is the stuck slot's" 500_000
+    (Lr.oldest_age r ~now:500_000);
+  (* Corroboration: the stalled verdict must name the stuck domain. *)
+  Alcotest.(check bool) "gauge and recorder agree" true
+    (Lr.corroborate r ~now:50_000 ~progressing:[| true; false |]);
+  Alcotest.(check bool) "a stalled verdict on an idle slot disagrees"
+    false
+    (Lr.corroborate r ~now:50_000 ~progressing:[| false; true |]);
+  Lr.abandon r 1;
+  Alcotest.(check int) "abandon clears the slot" 0
+    (Lr.oldest_age r ~now:500_000)
+
 (* ------------------------------------------------------------------ *)
 (* OpenMetrics round-trip. *)
 
@@ -161,6 +314,63 @@ let test_openmetrics_roundtrip () =
   in
   Alcotest.(check bool) "cumulative buckets are monotone" true
     (monotone buckets)
+
+let test_hires_openmetrics_roundtrip () =
+  let reg = R.create () in
+  let h = R.hires reg ~shards:1 ~help:"sojourn" "tm_test_sojourn_ns" in
+  let samples = [ 1; 9; 10; 1_000; 1_000_000 ] in
+  List.iter (I.hires_observe h) samples;
+  let text = E.to_openmetrics (R.scrape reg ~ts:0) in
+  let check_series series =
+    let value name labels =
+      match
+        List.find_opt
+          (fun s -> s.E.se_name = name && s.E.se_labels = labels)
+          series
+      with
+      | Some s -> s.E.se_value
+      | None -> Alcotest.failf "series %s not found" name
+    in
+    Alcotest.(check (float 0.)) "count" 5. (value "tm_test_sojourn_ns_count" []);
+    Alcotest.(check (float 0.))
+      "sum" 1_001_020.
+      (value "tm_test_sojourn_ns_sum" []);
+    Alcotest.(check (float 0.)) "+Inf bucket is the count" 5.
+      (value "tm_test_sojourn_ns_bucket" [ ("le", "+Inf") ]);
+    let buckets =
+      List.filter (fun s -> s.E.se_name = "tm_test_sojourn_ns_bucket") series
+    in
+    (* Empty hires buckets are skipped: five distinct samples plus the
+       +Inf line, not hires_buckets lines. *)
+    Alcotest.(check int) "one bucket line per occupied bucket" 6
+      (List.length buckets);
+    let rec monotone = function
+      | a :: (b :: _ as rest) -> a.E.se_value <= b.E.se_value && monotone rest
+      | _ -> true
+    in
+    Alcotest.(check bool) "cumulative buckets are monotone" true
+      (monotone buckets);
+    (* Every sample is at or below its emitted cumulative threshold:
+       the le="..." bound of the first bucket covering it. *)
+    List.iter
+      (fun v ->
+        let covered =
+          List.exists
+            (fun s ->
+              match List.assoc_opt "le" s.E.se_labels with
+              | Some "+Inf" -> true
+              | Some le -> float_of_string le >= float_of_int v
+              | None -> false)
+            buckets
+        in
+        Alcotest.(check bool) (Fmt.str "sample %d covered" v) true covered)
+      samples
+  in
+  check_series (E.parse_openmetrics text);
+  let series, findings = E.parse_openmetrics_lax text in
+  check_series series;
+  Alcotest.(check int) "lax agrees with strict on the hires exposition" 0
+    (List.length findings)
 
 (* Edge cases of the exposition parser: an exposition of only framing,
    the writer's label escaping round-tripped, and — for the lax
@@ -449,12 +659,30 @@ let () =
           Alcotest.test_case "empty snapshot pretty-prints" `Quick
             test_pp_hsnap_empty;
           Alcotest.test_case "absorb a Metrics histogram" `Quick test_absorb;
+          Alcotest.test_case "absorb routes overflow to overflow" `Quick
+            test_absorb_overflow;
           QCheck_alcotest.to_alcotest prop_quantiles;
+        ] );
+      ( "hires",
+        [
+          Alcotest.test_case "bucket edges" `Quick test_hires_bucket_edges;
+          QCheck_alcotest.to_alcotest prop_hires_buckets;
+          QCheck_alcotest.to_alcotest prop_hires_quantiles;
+          QCheck_alcotest.to_alcotest prop_merge_quantile_monotone;
+        ] );
+      ( "latency recorder",
+        [
+          Alcotest.test_case "queueing/service/sojourn split" `Quick
+            test_latency_recorder_split;
+          Alcotest.test_case "open vs closed quantile under a stall"
+            `Quick test_latency_recorder_open_vs_closed;
         ] );
       ( "export",
         [
           Alcotest.test_case "openmetrics round-trip" `Quick
             test_openmetrics_roundtrip;
+          Alcotest.test_case "hires cumulative buckets round-trip" `Quick
+            test_hires_openmetrics_roundtrip;
           Alcotest.test_case "EOF-only exposition" `Quick
             test_openmetrics_empty_exposition;
           Alcotest.test_case "escaped label values round-trip" `Quick
